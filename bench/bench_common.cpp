@@ -1,0 +1,32 @@
+#include "bench_common.hpp"
+
+#include "sim/report.hpp"
+
+namespace partree::bench {
+
+bool parse_standard(util::Cli& cli, int argc, char** argv) {
+  cli.option("seed", "base RNG seed", "1");
+  cli.option("csv", "write the result table to this CSV path", "");
+  return cli.parse(argc, argv);
+}
+
+void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+}
+
+void verdict(std::uint64_t violations) {
+  if (violations == 0) {
+    std::cout << "\nverdict: PASS (no bound violations)\n\n";
+  } else {
+    std::cout << "\nverdict: VIOLATION (" << violations
+              << " measurements exceeded the paper's bound)\n\n";
+  }
+}
+
+void emit(const util::Table& table, const std::string& title,
+          const util::Cli& cli) {
+  table.print(std::cout, title);
+  sim::write_csv_file(table, cli.get("csv"));
+}
+
+}  // namespace partree::bench

@@ -1,0 +1,59 @@
+// Mesh partitioning on a quadtree-decomposable machine.
+//
+//   ./mesh_partitioning [--side 32] [--d 1]
+//
+// A side x side 2-D mesh (side a power of two) decomposes into quadrants;
+// users request square power-of-4 partitions. Runs the generalized
+// algorithm family from src/karytree and shows the same reallocation
+// trade-off the paper proves on the binary tree.
+#include <cstdio>
+#include <iostream>
+
+#include "karytree/k_allocators.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace partree;
+  using namespace partree::karytree;
+
+  util::Cli cli;
+  cli.option("side", "mesh side length (power of two)", "32")
+      .option("events", "workload events", "4000")
+      .option("seed", "workload seed", "1");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::uint64_t side = cli.get_u64("side");
+  if (!util::is_pow2(side)) {
+    std::fprintf(stderr, "side must be a power of two\n");
+    return 1;
+  }
+  // side x side PEs = 4^(log2 side) leaves of a quadtree.
+  const KTopology topo(4, util::exact_log2(side));
+  std::printf("mesh %llu x %llu = %llu PEs, quadtree height %u\n\n",
+              static_cast<unsigned long long>(side),
+              static_cast<unsigned long long>(side),
+              static_cast<unsigned long long>(topo.n_leaves()),
+              topo.height());
+
+  const auto events =
+      k_closed_loop(topo, cli.get_u64("events"), 0.85, cli.get_u64("seed"));
+
+  util::Table table(
+      {"policy", "d", "max_load", "L*", "ratio", "reallocs", "migrations"});
+  for (const std::uint64_t d : {0ull, 1ull, 2ull, 4ull}) {
+    const KRunResult r = k_run(topo, events, KPolicy::kDRealloc, d);
+    table.add("k-dmix", d, r.max_load, r.optimal_load, r.ratio(),
+              r.reallocations, r.migrations);
+  }
+  const KRunResult greedy = k_run(topo, events, KPolicy::kGreedy);
+  table.add("k-greedy", "-", greedy.max_load, greedy.optimal_load,
+            greedy.ratio(), 0, 0);
+  const KRunResult basic = k_run(topo, events, KPolicy::kBasic);
+  table.add("k-basic", "-", basic.max_load, basic.optimal_load,
+            basic.ratio(), 0, 0);
+
+  table.print(std::cout, "Quadrant allocation on the mesh");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Trace runner: replay a recorded task trace (CSV) through any allocator.
+//
+//   ./trace_runner --trace mytrace.csv --n 1024 --allocator dmix:d=2
+//   ./trace_runner --make-demo demo.csv --n 64     # write a demo trace
+//
+// The trace format is the library's own (kind,id,size rows; see
+// workload/trace.hpp), so traces recorded from adversary_duel or produced
+// by external schedulers replay bit-for-bit.
+#include <cstdio>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "util/cli.hpp"
+#include "workload/campaign.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace partree;
+
+  util::Cli cli;
+  cli.option("trace", "CSV trace to replay", "")
+      .option("n", "number of PEs (power of two)", "1024")
+      .option("allocator", "allocator spec (see factory)", "greedy")
+      .option("seed", "seed for randomized allocators", "1")
+      .option("make-demo", "write a demo trace to this path and exit", "")
+      .flag("slowdowns", "also report the per-task slowdown distribution");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const tree::Topology topo(cli.get_u64("n"));
+
+  if (const std::string demo = cli.get("make-demo"); !demo.empty()) {
+    util::Rng rng(cli.get_u64("seed"));
+    const core::TaskSequence seq =
+        workload::make_campaign("steady-mix", topo, rng, 0.5);
+    workload::write_trace_file(seq, demo);
+    std::printf("wrote %zu events to %s\n", seq.size(), demo.c_str());
+    return 0;
+  }
+
+  const std::string path = cli.get("trace");
+  if (path.empty()) {
+    std::fprintf(stderr, "need --trace <file> (or --make-demo <file>)\n");
+    return 1;
+  }
+
+  const core::TaskSequence seq = workload::read_trace_file(path);
+  if (const std::string error = seq.validate(topo.n_leaves());
+      !error.empty()) {
+    std::fprintf(stderr, "trace invalid for N=%llu: %s\n",
+                 static_cast<unsigned long long>(topo.n_leaves()),
+                 error.c_str());
+    return 1;
+  }
+
+  sim::EngineOptions options;
+  options.record_slowdowns = cli.get_flag("slowdowns");
+  sim::Engine engine(topo, options);
+  auto allocator =
+      core::make_allocator(cli.get("allocator"), topo, cli.get_u64("seed"));
+  const auto result = engine.run(seq, *allocator);
+
+  std::vector<sim::SimResult> results{result};
+  sim::results_table(results).print(
+      std::cout, "replay of " + path + " (" + std::to_string(seq.size()) +
+                     " events)");
+  if (options.record_slowdowns) {
+    std::printf("\nslowdowns: mean %.3f, worst %llu over %zu completed tasks\n",
+                result.mean_slowdown,
+                static_cast<unsigned long long>(result.worst_slowdown),
+                result.task_slowdowns.size());
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment table.
+#
+#   scripts/run_all.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT"
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$ROOT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+done
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,76 @@
+#include "adversary/potential.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace partree::adversary {
+
+namespace {
+
+/// Active size inside every block of `block_size` PEs, left to right.
+std::vector<std::uint64_t> sizes_within(const core::MachineState& state,
+                                        std::uint64_t block_size) {
+  const tree::Topology& topo = state.topology();
+  const std::uint32_t depth = topo.depth_for_size(block_size);
+  const std::uint64_t first = std::uint64_t{1} << depth;
+  std::vector<std::uint64_t> inside(std::uint64_t{1} << depth, 0);
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    const std::uint32_t dv = topo.depth(at.node);
+    if (dv >= depth) {
+      // Task fits within one block.
+      inside[(at.node >> (dv - depth)) - first] += at.task.size;
+    } else {
+      // Task spans 2^(depth - dv) whole blocks; attribute proportionally.
+      const std::uint64_t span = std::uint64_t{1} << (depth - dv);
+      const std::uint64_t per_block = at.task.size / span;
+      const std::uint64_t base = (at.node << (depth - dv)) - first;
+      for (std::uint64_t b = 0; b < span; ++b) {
+        inside[base + b] += per_block;
+      }
+    }
+  }
+  return inside;
+}
+
+}  // namespace
+
+std::int64_t det_potential(const core::MachineState& state,
+                           std::uint64_t block_size) {
+  const tree::Topology& topo = state.topology();
+  const std::uint32_t depth = topo.depth_for_size(block_size);
+  const std::uint64_t first = std::uint64_t{1} << depth;
+  const auto inside = sizes_within(state, block_size);
+  std::int64_t total = 0;
+  for (std::uint64_t b = 0; b < inside.size(); ++b) {
+    const std::uint64_t l = state.loads().subtree_max(first + b);
+    total += static_cast<std::int64_t>(block_size * l) -
+             static_cast<std::int64_t>(inside[b]);
+  }
+  return total;
+}
+
+std::uint64_t rand_potential(const core::MachineState& state,
+                             std::uint64_t block_size) {
+  const tree::Topology& topo = state.topology();
+  const std::uint32_t depth = topo.depth_for_size(block_size);
+  const std::uint64_t first = std::uint64_t{1} << depth;
+  const std::uint64_t count = std::uint64_t{1} << depth;
+  std::uint64_t total = 0;
+  for (std::uint64_t b = 0; b < count; ++b) {
+    total += block_size * state.loads().subtree_max(first + b);
+  }
+  return total;
+}
+
+double fragmentation(const core::MachineState& state,
+                     std::uint64_t block_size) {
+  const std::uint64_t peak = state.max_load();
+  if (peak == 0) return 0.0;
+  const double denom = static_cast<double>(state.n_pes()) *
+                       static_cast<double>(peak);
+  return static_cast<double>(det_potential(state, block_size)) / denom;
+}
+
+}  // namespace partree::adversary

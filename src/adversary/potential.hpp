@@ -1,0 +1,36 @@
+// The paper's potential functions, exposed as measurable diagnostics.
+//
+// Deterministic lower bound (Section 4.2): for block size B = 2^i,
+//   P(T, i)  = sum over size-B submachines T_i of  B * l(T_i) - L(T_i)
+// where l is the max PE load inside T_i and L the active size inside.
+// The potential measures fragmentation: load that cannot be explained by
+// occupancy.
+//
+// Randomized lower bound (Section 5.2): for block size B,
+//   P'(T, i) = sum over size-B submachines of  B * l(T_i)
+//
+// Both are computed from ground-truth MachineState so benches and tests can
+// trace Lemma 3 / Lemma 6-style growth empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine_state.hpp"
+
+namespace partree::adversary {
+
+/// P(T, .) over blocks of `block_size` PEs (a power of two <= N).
+[[nodiscard]] std::int64_t det_potential(const core::MachineState& state,
+                                         std::uint64_t block_size);
+
+/// P'(T, .) over blocks of `block_size` PEs (a power of two <= N).
+[[nodiscard]] std::uint64_t rand_potential(const core::MachineState& state,
+                                           std::uint64_t block_size);
+
+/// Fragmentation ratio in [0, 1]: det_potential / (N * max_load); 0 when
+/// the machine is perfectly balanced at its own max load, approaching 1
+/// under extreme imbalance. Returns 0 for an idle machine.
+[[nodiscard]] double fragmentation(const core::MachineState& state,
+                                   std::uint64_t block_size);
+
+}  // namespace partree::adversary

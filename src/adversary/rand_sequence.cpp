@@ -1,0 +1,63 @@
+#include "adversary/rand_sequence.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace partree::adversary {
+
+std::uint64_t random_lb_phases(std::uint64_t n_pes) {
+  PARTREE_ASSERT(n_pes >= 4, "sigma_r needs N >= 4");
+  const double log_n = std::log2(static_cast<double>(n_pes));
+  const double loglog_n = std::log2(log_n);
+  const auto phases =
+      static_cast<std::uint64_t>(std::floor(log_n / (2.0 * loglog_n)));
+  return phases == 0 ? 1 : phases;
+}
+
+core::TaskSequence random_lb_sequence(tree::Topology topo, util::Rng& rng,
+                                      RandSequenceStats* stats) {
+  const std::uint64_t n = topo.n_leaves();
+  PARTREE_ASSERT(n >= 4, "sigma_r needs N >= 4");
+  const std::uint64_t log_n = topo.height();
+  const double depart_prob =
+      1.0 - 1.0 / static_cast<double>(log_n);
+  const std::uint64_t phases = random_lb_phases(n);
+
+  core::TaskSequence seq;
+  RandSequenceStats local;
+  local.phases = phases;
+
+  std::uint64_t raw_size = 1;  // log^i N, exact integer
+  for (std::uint64_t i = 0; i < phases; ++i) {
+    const std::uint64_t count = n / (3 * raw_size);
+    if (count == 0) break;
+    // Round the phase size down to a legal power-of-two task size.
+    const std::uint64_t size =
+        std::min<std::uint64_t>(util::pow2_floor(raw_size), n);
+
+    std::vector<core::TaskId> phase_tasks;
+    phase_tasks.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      phase_tasks.push_back(seq.arrive(size));
+      ++local.arrivals;
+    }
+    for (const core::TaskId id : phase_tasks) {
+      if (rng.bernoulli(depart_prob)) {
+        seq.depart(id);
+      } else {
+        ++local.survivors;
+      }
+    }
+    // Next phase size: log^{i+1} N.
+    if (raw_size > n / log_n) break;  // further phases would be empty
+    raw_size *= log_n;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return seq;
+}
+
+}  // namespace partree::adversary

@@ -1,0 +1,39 @@
+// The random task sequence sigma_r of Theorem 5.2.
+//
+// For phases i = 0 .. ceil(log N / (2 log log N)) - 1:
+//   1. N / (3 log^i N) tasks of size log^i N arrive;
+//   2. each of them independently departs with probability 1 - 1/log N.
+//
+// Against sigma_r, every no-reallocation online algorithm (deterministic
+// or randomized) incurs expected load Omega((log N / log log N)^(1/3))
+// while the optimal load is 1 with high probability.
+//
+// Model detail: task sizes must be powers of two; when log N is itself a
+// power of two (e.g. N = 2^16) the phase sizes log^i N are exact. For
+// other N we round each phase size DOWN to a power of two, which only
+// weakens the sequence (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "core/sequence.hpp"
+#include "tree/topology.hpp"
+#include "util/rng.hpp"
+
+namespace partree::adversary {
+
+struct RandSequenceStats {
+  std::uint64_t phases = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t survivors = 0;  // tasks that never depart
+};
+
+/// Generates one draw of sigma_r. `stats` (optional) receives counts.
+[[nodiscard]] core::TaskSequence random_lb_sequence(
+    tree::Topology topo, util::Rng& rng, RandSequenceStats* stats = nullptr);
+
+/// Number of phases used for an N-PE machine:
+/// max(1, floor(log N / (2 log log N))).
+[[nodiscard]] std::uint64_t random_lb_phases(std::uint64_t n_pes);
+
+}  // namespace partree::adversary

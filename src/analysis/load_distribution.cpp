@@ -1,0 +1,62 @@
+#include "analysis/load_distribution.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace partree::analysis {
+
+std::vector<double> poisson_binomial_pmf(
+    std::span<const double> probabilities) {
+  std::vector<double> pmf{1.0};
+  pmf.reserve(probabilities.size() + 1);
+  for (const double p : probabilities) {
+    PARTREE_ASSERT(p >= 0.0 && p <= 1.0, "Bernoulli probability out of range");
+    pmf.push_back(0.0);
+    // In-place backward update: pmf'[k] = pmf[k]*(1-p) + pmf[k-1]*p.
+    for (std::size_t k = pmf.size() - 1; k > 0; --k) {
+      pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+double tail_at_least(std::span<const double> pmf, std::uint64_t m) {
+  double tail = 0.0;
+  for (std::size_t k = pmf.size(); k-- > 0;) {
+    if (k < m) break;
+    tail += pmf[k];
+  }
+  return std::min(tail, 1.0);
+}
+
+double pe_load_tail(std::span<const std::uint64_t> sizes,
+                    std::uint64_t n_pes, std::uint64_t m) {
+  PARTREE_ASSERT(n_pes >= 1, "need at least one PE");
+  std::vector<double> probabilities;
+  probabilities.reserve(sizes.size());
+  for (const std::uint64_t s : sizes) {
+    PARTREE_ASSERT(s <= n_pes, "task larger than the machine");
+    probabilities.push_back(static_cast<double>(s) /
+                            static_cast<double>(n_pes));
+  }
+  return tail_at_least(poisson_binomial_pmf(probabilities), m);
+}
+
+double max_load_tail_union(std::span<const std::uint64_t> sizes,
+                           std::uint64_t n_pes, std::uint64_t m) {
+  return std::min(1.0, static_cast<double>(n_pes) *
+                           pe_load_tail(sizes, n_pes, m));
+}
+
+double pe_load_mean(std::span<const std::uint64_t> sizes,
+                    std::uint64_t n_pes) {
+  double mean = 0.0;
+  for (const std::uint64_t s : sizes) {
+    mean += static_cast<double>(s) / static_cast<double>(n_pes);
+  }
+  return mean;
+}
+
+}  // namespace partree::analysis

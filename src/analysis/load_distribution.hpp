@@ -1,0 +1,43 @@
+// Exact load distributions under oblivious random placement.
+//
+// Under the Section 5.1 algorithm, a fixed PE u receives each active task
+// t independently with probability s(t)/N, so u's load is Poisson-binomial
+// distributed. Lemma 4 (Hoeffding) upper-bounds its tail; this module
+// computes the EXACT pmf by convolution, plus the exact tail and a
+// union-style bound on the machine maximum. AB3 plots all three against
+// the empirical tails.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace partree::analysis {
+
+/// Exact pmf of a sum of independent Bernoulli(p_i) variables.
+/// O(n^2) convolution; fine for thousands of tasks.
+[[nodiscard]] std::vector<double> poisson_binomial_pmf(
+    std::span<const double> probabilities);
+
+/// P(X >= m) for the Poisson-binomial with the given pmf.
+[[nodiscard]] double tail_at_least(std::span<const double> pmf,
+                                   std::uint64_t m);
+
+/// Exact per-PE tail under oblivious random placement: active task sizes
+/// `sizes` on an N-PE machine; every PE is symmetric, so one pmf serves
+/// all. Returns P(load of a fixed PE >= m).
+[[nodiscard]] double pe_load_tail(std::span<const std::uint64_t> sizes,
+                                  std::uint64_t n_pes, std::uint64_t m);
+
+/// Union bound on the machine maximum: min(1, N * pe_load_tail).
+/// (PE loads are positively correlated across a submachine, so this is
+/// conservative, like the paper's proof of Theorem 5.1.)
+[[nodiscard]] double max_load_tail_union(std::span<const std::uint64_t> sizes,
+                                         std::uint64_t n_pes,
+                                         std::uint64_t m);
+
+/// Expected load of a fixed PE: sum s(t)/N.
+[[nodiscard]] double pe_load_mean(std::span<const std::uint64_t> sizes,
+                                  std::uint64_t n_pes);
+
+}  // namespace partree::analysis

@@ -1,0 +1,54 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace partree::core {
+
+tree::NodeId LeftmostAllocator::place(const Task& task,
+                                      const MachineState& state) {
+  (void)state;
+  return topo_.node_for(task.size, 0);
+}
+
+tree::NodeId RoundRobinAllocator::place(const Task& task,
+                                        const MachineState& state) {
+  (void)state;
+  const std::uint64_t count = topo_.count_for_size(task.size);
+  std::uint64_t& cursor = cursors_[task.size];
+  const std::uint64_t index = cursor % count;
+  cursor = (cursor + 1) % count;
+  return topo_.node_for(task.size, index);
+}
+
+DChoicesAllocator::DChoicesAllocator(tree::Topology topo, std::uint64_t k,
+                                     std::uint64_t seed)
+    : topo_(topo), k_(k), seed_(seed), rng_(seed) {
+  PARTREE_ASSERT(k >= 1, "DChoices needs k >= 1");
+}
+
+tree::NodeId DChoicesAllocator::place(const Task& task,
+                                      const MachineState& state) {
+  const std::uint64_t count = topo_.count_for_size(task.size);
+  tree::NodeId best = topo_.node_for(task.size, rng_.below(count));
+  std::uint64_t best_load = state.loads().subtree_max(best);
+  for (std::uint64_t i = 1; i < k_; ++i) {
+    const tree::NodeId candidate =
+        topo_.node_for(task.size, rng_.below(count));
+    const std::uint64_t load = state.loads().subtree_max(candidate);
+    if (load < best_load || (load == best_load && candidate < best)) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::string DChoicesAllocator::name() const {
+  return "dchoice(k=" + std::to_string(k_) + ")";
+}
+
+void DChoicesAllocator::reset() { rng_ = util::Rng(seed_); }
+
+}  // namespace partree::core

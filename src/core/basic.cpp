@@ -1,0 +1,37 @@
+#include "core/basic.hpp"
+
+#include "util/assert.hpp"
+
+namespace partree::core {
+
+BasicAllocator::BasicAllocator(tree::Topology topo, tree::CopyFit fit)
+    : fit_(fit), copies_(topo, fit) {}
+
+std::string BasicAllocator::name() const {
+  return fit_ == tree::CopyFit::kFirstFit ? "basic" : "basic-bestfit";
+}
+
+tree::NodeId BasicAllocator::place(const Task& task,
+                                   const MachineState& state) {
+  (void)state;
+  const tree::CopyPlacement cp = copies_.place(task.size);
+  const bool inserted = placements_.emplace(task.id, cp).second;
+  PARTREE_ASSERT(inserted, "duplicate arrival id in BasicAllocator");
+  return cp.node;
+}
+
+void BasicAllocator::on_departure(TaskId id, const MachineState& state) {
+  (void)state;
+  const auto it = placements_.find(id);
+  PARTREE_ASSERT(it != placements_.end(),
+                 "departure of task unknown to BasicAllocator");
+  copies_.remove(it->second);
+  placements_.erase(it);
+}
+
+void BasicAllocator::reset() {
+  copies_.clear();
+  placements_.clear();
+}
+
+}  // namespace partree::core

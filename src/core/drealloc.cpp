@@ -1,0 +1,89 @@
+#include "core/drealloc.hpp"
+
+#include "core/packing.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace partree::core {
+
+DReallocAllocator::DReallocAllocator(tree::Topology topo, ReallocParam d)
+    : topo_(topo), d_(d), copies_(topo) {
+  const std::uint64_t greedy_factor =
+      util::ceil_div(topo_.height() + std::uint64_t{1}, 2);
+  if (d_.infinite || d_.d >= greedy_factor) {
+    greedy_.emplace(topo_);
+  }
+}
+
+tree::NodeId DReallocAllocator::place(const Task& task,
+                                      const MachineState& state) {
+  if (greedy_) return greedy_->place(task, state);
+  // Reallocation fires at the arrival that would push the A_B-handled
+  // volume past dN; the triggering task is part of the repack, so the
+  // volume A_B ever handles between reallocations stays <= dN -- exactly
+  // the accounting of Theorem 4.2 (and the Figure 1 example: with d = 1,
+  // N = 4, the repack happens when t5 arrives, yielding load 1).
+  if (arrived_since_realloc_ + task.size > d_.d * topo_.n_leaves()) {
+    realloc_pending_ = true;
+  } else {
+    arrived_since_realloc_ += task.size;
+  }
+  const tree::CopyPlacement cp = copies_.place(task.size);
+  const bool inserted = placements_.emplace(task.id, cp).second;
+  PARTREE_ASSERT(inserted, "duplicate arrival id in DReallocAllocator");
+  return cp.node;
+}
+
+void DReallocAllocator::on_departure(TaskId id, const MachineState& state) {
+  if (greedy_) {
+    greedy_->on_departure(id, state);
+    return;
+  }
+  const auto it = placements_.find(id);
+  PARTREE_ASSERT(it != placements_.end(),
+                 "departure of task unknown to DReallocAllocator");
+  copies_.remove(it->second);
+  placements_.erase(it);
+}
+
+std::optional<std::vector<Migration>> DReallocAllocator::maybe_reallocate(
+    const MachineState& state) {
+  if (greedy_) return std::nullopt;
+  if (!realloc_pending_) return std::nullopt;
+  realloc_pending_ = false;
+
+  const auto tasks = state.active_tasks();
+  const auto packed = pack_tasks(topo_, tasks);
+  copies_.clear();
+  placements_.clear();
+  std::vector<Migration> migrations;
+  migrations.reserve(packed.size());
+  for (const PackedTask& p : packed) {
+    placements_.emplace(p.id, p.placement);
+    migrations.push_back(
+        {p.id, state.active_task(p.id).node, p.placement.node});
+  }
+  for (const PackedTask& p : packed) {
+    const tree::CopyPlacement cp = copies_.place(p.size);
+    PARTREE_ASSERT(cp == p.placement, "repack replay diverged");
+  }
+  arrived_since_realloc_ = 0;
+  ++reallocations_;
+  return migrations;
+}
+
+std::string DReallocAllocator::name() const {
+  if (d_.infinite) return "dmix(d=inf)";
+  return "dmix(d=" + std::to_string(d_.d) + ")";
+}
+
+void DReallocAllocator::reset() {
+  if (greedy_) greedy_->reset();
+  copies_.clear();
+  placements_.clear();
+  arrived_since_realloc_ = 0;
+  realloc_pending_ = false;
+  reallocations_ = 0;
+}
+
+}  // namespace partree::core

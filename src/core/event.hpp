@@ -1,0 +1,28 @@
+// Arrival/departure events; a task sequence is an ordered list of these.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.hpp"
+
+namespace partree::core {
+
+enum class EventKind : std::uint8_t { kArrival, kDeparture };
+
+/// One step of a task sequence. For departures only `task.id` is
+/// meaningful (size is carried for convenience when known).
+struct Event {
+  EventKind kind = EventKind::kArrival;
+  Task task;
+
+  [[nodiscard]] static Event arrival(TaskId id, std::uint64_t size) {
+    return {EventKind::kArrival, Task{id, size}};
+  }
+  [[nodiscard]] static Event departure(TaskId id) {
+    return {EventKind::kDeparture, Task{id, 0}};
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace partree::core

@@ -1,0 +1,40 @@
+// Interface for anything that produces events online.
+//
+// A fixed TaskSequence replays through SequenceSource; the adaptive
+// adversary of Theorem 4.3 implements EventSource directly, deciding each
+// event from the allocator's observable placements.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/event.hpp"
+#include "core/machine_state.hpp"
+
+namespace partree::core {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Produces the next event, or nullopt at end of sequence. `state` is
+  /// the machine state after all previously-produced events were applied.
+  [[nodiscard]] virtual std::optional<Event> next(const MachineState& state) = 0;
+};
+
+/// Replays a fixed event list.
+class SequenceSource : public EventSource {
+ public:
+  explicit SequenceSource(std::span<const Event> events) : events_(events) {}
+
+  [[nodiscard]] std::optional<Event> next(const MachineState&) override {
+    if (cursor_ >= events_.size()) return std::nullopt;
+    return events_[cursor_++];
+  }
+
+ private:
+  std::span<const Event> events_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace partree::core

@@ -1,0 +1,32 @@
+// Algorithm A_G (Section 4.1): greedy online allocation, no reallocation.
+//
+// An arriving task of size 2^x goes to the leftmost size-2^x submachine of
+// minimum load. Theorem 4.1: load <= ceil((log N + 1)/2) * L*.
+#pragma once
+
+#include <optional>
+
+#include "core/allocator.hpp"
+#include "tree/level_forest.hpp"
+
+namespace partree::core {
+
+class GreedyAllocator : public Allocator {
+ public:
+  /// `fast_index` selects the O(log^2 N) LevelForest implementation; the
+  /// default queries the engine's exact LoadTree (O(N/size) per arrival).
+  /// Both produce identical placements (property-tested).
+  explicit GreedyAllocator(tree::Topology topo, bool fast_index = false);
+
+  [[nodiscard]] tree::NodeId place(const Task& task,
+                                   const MachineState& state) override;
+  void on_departure(TaskId id, const MachineState& state) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+ private:
+  tree::Topology topo_;
+  std::optional<tree::LevelForest> forest_;  // engaged iff fast_index
+};
+
+}  // namespace partree::core

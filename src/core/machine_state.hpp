@@ -1,0 +1,103 @@
+// Ground-truth machine state owned by the simulation engine.
+//
+// Allocators receive `const MachineState&` and return decisions (a node for
+// an arrival, a migration list for a reallocation); the engine applies them
+// here. Every mutation validates the model invariants so a buggy allocator
+// fails loudly rather than producing plausible-looking numbers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/task.hpp"
+#include "tree/load_tree.hpp"
+#include "tree/topology.hpp"
+
+namespace partree::core {
+
+/// A task move performed during a reallocation.
+struct Migration {
+  TaskId id = kInvalidTask;
+  tree::NodeId from = tree::kInvalidNode;
+  tree::NodeId to = tree::kInvalidNode;
+
+  friend bool operator==(const Migration&, const Migration&) = default;
+};
+
+/// A currently-active task and where it lives.
+struct ActiveTask {
+  Task task;
+  tree::NodeId node = tree::kInvalidNode;
+};
+
+class MachineState {
+ public:
+  explicit MachineState(tree::Topology topo);
+
+  [[nodiscard]] const tree::Topology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] std::uint64_t n_pes() const noexcept {
+    return topo_.n_leaves();
+  }
+
+  /// Places an arriving task on the submachine rooted at `node`.
+  /// Validates: fresh id, size matches the node's subtree, node in range.
+  void place(const Task& task, tree::NodeId node);
+
+  /// Removes an active task; returns where it was placed.
+  tree::NodeId remove(TaskId id);
+
+  /// Applies a reallocation: every migration must name an active task and
+  /// a correctly-sized destination. Self-moves (from == to) are permitted
+  /// and counted by the caller, not here.
+  void migrate(const std::vector<Migration>& migrations);
+
+  [[nodiscard]] bool is_active(TaskId id) const {
+    return active_.find(id) != active_.end();
+  }
+  [[nodiscard]] const ActiveTask& active_task(TaskId id) const;
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return active_.size();
+  }
+
+  /// All active tasks (unordered).
+  [[nodiscard]] std::vector<ActiveTask> active_tasks() const;
+
+  /// Current maximum PE load (the paper's L_A(sigma; tau)). O(1).
+  [[nodiscard]] std::uint64_t max_load() const noexcept {
+    return loads_.max_load();
+  }
+
+  /// Cumulative size of active tasks, S(sigma; tau). O(1).
+  [[nodiscard]] std::uint64_t active_size() const noexcept {
+    return loads_.total_active_size();
+  }
+
+  /// Largest active size seen so far; ceil(peak/N) is the running L*.
+  [[nodiscard]] std::uint64_t peak_active_size() const noexcept {
+    return peak_active_size_;
+  }
+
+  /// Running optimal load: ceil(peak_active_size / N), minimum 0.
+  [[nodiscard]] std::uint64_t optimal_load() const noexcept;
+
+  /// Read access to the load structure (for greedy queries etc.).
+  [[nodiscard]] const tree::LoadTree& loads() const noexcept { return loads_; }
+
+  /// Per-PE loads snapshot. O(N).
+  [[nodiscard]] std::vector<std::uint64_t> pe_loads() const {
+    return loads_.pe_loads();
+  }
+
+  void clear();
+
+ private:
+  tree::Topology topo_;
+  tree::LoadTree loads_;
+  std::unordered_map<TaskId, ActiveTask> active_;
+  std::uint64_t peak_active_size_ = 0;
+};
+
+}  // namespace partree::core

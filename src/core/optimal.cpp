@@ -1,0 +1,63 @@
+#include "core/optimal.hpp"
+
+#include "core/packing.hpp"
+#include "util/assert.hpp"
+
+namespace partree::core {
+
+OptimalReallocAllocator::OptimalReallocAllocator(tree::Topology topo)
+    : topo_(topo), copies_(topo) {}
+
+tree::NodeId OptimalReallocAllocator::place(const Task& task,
+                                            const MachineState& state) {
+  (void)state;
+  // Provisional first-fit placement; the repack that follows immediately
+  // (maybe_reallocate always fires) establishes the optimal layout before
+  // the engine samples the load.
+  const tree::CopyPlacement cp = copies_.place(task.size);
+  const bool inserted = placements_.emplace(task.id, cp).second;
+  PARTREE_ASSERT(inserted, "duplicate arrival id in OptimalReallocAllocator");
+  return cp.node;
+}
+
+void OptimalReallocAllocator::on_departure(TaskId id,
+                                           const MachineState& state) {
+  (void)state;
+  const auto it = placements_.find(id);
+  PARTREE_ASSERT(it != placements_.end(),
+                 "departure of task unknown to OptimalReallocAllocator");
+  copies_.remove(it->second);
+  placements_.erase(it);
+}
+
+std::optional<std::vector<Migration>> OptimalReallocAllocator::maybe_reallocate(
+    const MachineState& state) {
+  const auto tasks = state.active_tasks();
+  const auto packed = pack_tasks(topo_, tasks);
+
+  // Rebuild internal bookkeeping to mirror the packing.
+  copies_.clear();
+  placements_.clear();
+  std::vector<Migration> migrations;
+  migrations.reserve(packed.size());
+  for (const PackedTask& p : packed) {
+    placements_.emplace(p.id, p.placement);
+    migrations.push_back(
+        {p.id, state.active_task(p.id).node, p.placement.node});
+  }
+  // Re-drive our CopySet so its occupancy matches `packed` exactly.
+  // pack_tasks used a fresh CopySet with the same deterministic policy, so
+  // replaying the same order reproduces the same placements.
+  for (const PackedTask& p : packed) {
+    const tree::CopyPlacement cp = copies_.place(p.size);
+    PARTREE_ASSERT(cp == p.placement, "repack replay diverged");
+  }
+  return migrations;
+}
+
+void OptimalReallocAllocator::reset() {
+  copies_.clear();
+  placements_.clear();
+}
+
+}  // namespace partree::core

@@ -1,0 +1,33 @@
+// Algorithm A_C (Section 3): the optimal 0-reallocation algorithm.
+//
+// Every arrival triggers the reallocation procedure A_R over all active
+// tasks (including the new one). Theorem 3.1: the load after every event
+// equals the optimal load ceil(S(sigma; tau)/N) <= L*.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/allocator.hpp"
+#include "tree/copy_set.hpp"
+
+namespace partree::core {
+
+class OptimalReallocAllocator : public Allocator {
+ public:
+  explicit OptimalReallocAllocator(tree::Topology topo);
+
+  [[nodiscard]] tree::NodeId place(const Task& task,
+                                   const MachineState& state) override;
+  void on_departure(TaskId id, const MachineState& state) override;
+  [[nodiscard]] std::optional<std::vector<Migration>> maybe_reallocate(
+      const MachineState& state) override;
+  [[nodiscard]] std::string name() const override { return "optimal"; }
+  void reset() override;
+
+ private:
+  tree::Topology topo_;
+  tree::CopySet copies_;
+  std::unordered_map<TaskId, tree::CopyPlacement> placements_;
+};
+
+}  // namespace partree::core

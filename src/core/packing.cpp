@@ -1,0 +1,67 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace partree::core {
+
+std::vector<PackedTask> pack_tasks_ordered(const tree::Topology& topo,
+                                           std::span<const ActiveTask> tasks,
+                                           PackOrder order) {
+  std::vector<PackedTask> packed;
+  packed.reserve(tasks.size());
+  for (const ActiveTask& at : tasks) {
+    packed.push_back({at.task.id, at.task.size, {}});
+  }
+  switch (order) {
+    case PackOrder::kDecreasingSize:
+      std::sort(packed.begin(), packed.end(),
+                [](const PackedTask& a, const PackedTask& b) {
+                  if (a.size != b.size) return a.size > b.size;
+                  return a.id < b.id;
+                });
+      break;
+    case PackOrder::kIncreasingSize:
+      std::sort(packed.begin(), packed.end(),
+                [](const PackedTask& a, const PackedTask& b) {
+                  if (a.size != b.size) return a.size < b.size;
+                  return a.id < b.id;
+                });
+      break;
+    case PackOrder::kArrivalOrder:
+      std::sort(packed.begin(), packed.end(),
+                [](const PackedTask& a, const PackedTask& b) {
+                  return a.id < b.id;
+                });
+      break;
+  }
+  tree::CopySet copies(topo);
+  for (PackedTask& p : packed) {
+    p.placement = copies.place(p.size);
+  }
+  return packed;
+}
+
+std::vector<PackedTask> pack_tasks(const tree::Topology& topo,
+                                   std::span<const ActiveTask> tasks) {
+  return pack_tasks_ordered(topo, tasks, PackOrder::kDecreasingSize);
+}
+
+std::vector<Migration> plan_repack(const MachineState& state,
+                                   std::uint64_t* out_copies) {
+  const auto tasks = state.active_tasks();
+  const auto packed = pack_tasks(state.topology(), tasks);
+  std::uint64_t copies = 0;
+  std::vector<Migration> migrations;
+  migrations.reserve(packed.size());
+  for (const PackedTask& p : packed) {
+    copies = std::max(copies, p.placement.copy + 1);
+    migrations.push_back(
+        {p.id, state.active_task(p.id).node, p.placement.node});
+  }
+  if (out_copies != nullptr) *out_copies = copies;
+  return migrations;
+}
+
+}  // namespace partree::core

@@ -1,0 +1,54 @@
+// The paper's reallocation procedure A_R: repack all active tasks.
+//
+// Sort active tasks by decreasing size and first-fit them into machine
+// copies (Section 3). Lemma 1: the resulting copy count -- and hence the
+// machine load -- is exactly ceil(S/N) for total active size S.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/machine_state.hpp"
+#include "tree/copy_set.hpp"
+
+namespace partree::core {
+
+/// Result of repacking one task.
+struct PackedTask {
+  TaskId id = kInvalidTask;
+  std::uint64_t size = 0;
+  tree::CopyPlacement placement;
+};
+
+/// Packs `tasks` (any order) into fresh copies of the machine per A_R:
+/// decreasing size, ties broken by ascending id for determinism; each task
+/// goes to the first copy with a vacant block, leftmost block within it.
+[[nodiscard]] std::vector<PackedTask> pack_tasks(
+    const tree::Topology& topo, std::span<const ActiveTask> tasks);
+
+/// Packing-order ablation (see bench/ab1_packing_ablation). The paper's
+/// A_R order is kDecreasingSize, which makes Lemma 1's ceil(S/N) proof
+/// one paragraph; by the Lemma 2 argument ANY first-fit order packs a
+/// static set into ceil(S/N) copies, so the practical value of the
+/// canonical order is determinism and placement stability across repeated
+/// repacks (fewer physical migrations) -- which the ablation measures.
+enum class PackOrder : std::uint8_t {
+  kDecreasingSize,  ///< A_R: largest first (ties by id)
+  kIncreasingSize,  ///< smallest first (ties by id)
+  kArrivalOrder,    ///< ascending id, sizes interleaved
+};
+
+/// pack_tasks with an explicit placement order; kDecreasingSize matches
+/// pack_tasks exactly.
+[[nodiscard]] std::vector<PackedTask> pack_tasks_ordered(
+    const tree::Topology& topo, std::span<const ActiveTask> tasks,
+    PackOrder order);
+
+/// Convenience: derives the migration list that moves the active tasks of
+/// `state` to their A_R packing (self-moves included with from == to).
+/// `out_copies` (optional) receives the copy count used.
+[[nodiscard]] std::vector<Migration> plan_repack(
+    const MachineState& state, std::uint64_t* out_copies = nullptr);
+
+}  // namespace partree::core

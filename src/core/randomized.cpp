@@ -1,0 +1,18 @@
+#include "core/randomized.hpp"
+
+namespace partree::core {
+
+RandomizedAllocator::RandomizedAllocator(tree::Topology topo,
+                                         std::uint64_t seed)
+    : topo_(topo), seed_(seed), rng_(seed) {}
+
+tree::NodeId RandomizedAllocator::place(const Task& task,
+                                        const MachineState& state) {
+  (void)state;
+  const std::uint64_t count = topo_.count_for_size(task.size);
+  return topo_.node_for(task.size, rng_.below(count));
+}
+
+void RandomizedAllocator::reset() { rng_ = util::Rng(seed_); }
+
+}  // namespace partree::core

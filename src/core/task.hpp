@@ -1,0 +1,31 @@
+// Tasks of the SPAA'96 model: a user request for a power-of-two submachine.
+#pragma once
+
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace partree::core {
+
+using TaskId = std::uint64_t;
+
+inline constexpr TaskId kInvalidTask = ~TaskId{0};
+
+/// A user task: arrives online, requests `size` PEs (a power of two), and
+/// departs at an unknown later time. Execution time is never revealed to
+/// the allocator.
+struct Task {
+  TaskId id = kInvalidTask;
+  std::uint64_t size = 1;
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// Validates the model constraint on task sizes against a machine of
+/// `n_pes` PEs.
+[[nodiscard]] inline bool valid_task_size(std::uint64_t size,
+                                          std::uint64_t n_pes) noexcept {
+  return util::is_pow2(size) && size <= n_pes;
+}
+
+}  // namespace partree::core

@@ -1,0 +1,187 @@
+#include "karytree/k_allocators.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace partree::karytree {
+
+std::vector<KEvent> k_closed_loop(const KTopology& topo,
+                                  std::uint64_t n_events, double utilization,
+                                  std::uint64_t seed) {
+  PARTREE_ASSERT(utilization > 0.0 && utilization <= 1.0,
+                 "utilization out of range");
+  util::Rng rng(seed);
+  const auto target = static_cast<std::uint64_t>(
+      utilization * static_cast<double>(topo.n_leaves()));
+
+  std::vector<KEvent> events;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> active;  // id,size
+  std::uint64_t next_id = 0;
+  std::uint64_t active_size = 0;
+
+  for (std::uint64_t e = 0; e < n_events; ++e) {
+    if (active.empty() || active_size < target) {
+      // Uniform over powers of A up to N.
+      std::uint64_t size = 1;
+      const std::uint64_t log = rng.below(topo.height() + 1);
+      for (std::uint64_t i = 0; i < log; ++i) size *= topo.arity();
+      events.push_back({KEvent::Kind::kArrival, next_id, size});
+      active.emplace_back(next_id, size);
+      active_size += size;
+      ++next_id;
+    } else {
+      const std::uint64_t pick = rng.below(active.size());
+      const auto [id, size] = active[pick];
+      active[pick] = active.back();
+      active.pop_back();
+      active_size -= size;
+      events.push_back({KEvent::Kind::kDeparture, id, 0});
+    }
+  }
+  while (!active.empty()) {
+    events.push_back({KEvent::Kind::kDeparture, active.back().first, 0});
+    active.pop_back();
+  }
+  return events;
+}
+
+std::vector<KEvent> k_staircase(const KTopology& topo) {
+  std::vector<KEvent> events;
+  std::uint64_t next_id = 0;
+  std::uint64_t active_size = 0;
+  std::uint64_t size = 1;
+  for (std::uint32_t phase = 0; phase < topo.height(); ++phase) {
+    const std::uint64_t count = (topo.n_leaves() - active_size) / size;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      events.push_back({KEvent::Kind::kArrival, next_id, size});
+      ids.push_back(next_id++);
+      active_size += size;
+    }
+    // Depart all but one task per group of A, so each next-size block
+    // keeps a misaligned survivor.
+    for (std::uint64_t k = 0; k < ids.size(); ++k) {
+      if (k % topo.arity() != 0) {
+        events.push_back({KEvent::Kind::kDeparture, ids[k], 0});
+        active_size -= size;
+      }
+    }
+    size *= topo.arity();
+  }
+  return events;
+}
+
+std::string to_string(KPolicy policy) {
+  switch (policy) {
+    case KPolicy::kGreedy:
+      return "k-greedy";
+    case KPolicy::kBasic:
+      return "k-basic";
+    case KPolicy::kDRealloc:
+      return "k-dmix";
+  }
+  return "unknown";
+}
+
+KRunResult k_run(const KTopology& topo, const std::vector<KEvent>& events,
+                 KPolicy policy, std::uint64_t d) {
+  KLoadTree loads(topo);
+  KCopySet copies(topo);
+  // id -> (size, node); copy placements tracked separately for kBasic.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, KNodeId>> active;
+  std::unordered_map<std::uint64_t, KCopyPlacement> copy_placements;
+
+  KRunResult result;
+  std::uint64_t peak_size = 0;
+  std::uint64_t arrived_since_realloc = 0;
+
+  for (const KEvent& event : events) {
+    if (event.kind == KEvent::Kind::kArrival) {
+      PARTREE_ASSERT(topo.valid_size(event.size), "invalid k-ary task size");
+      KNodeId node = 0;
+      bool realloc_now = false;
+      switch (policy) {
+        case KPolicy::kGreedy:
+          node = loads.min_load_node(event.size);
+          break;
+        case KPolicy::kBasic: {
+          const KCopyPlacement cp = copies.place(event.size);
+          copy_placements.emplace(event.id, cp);
+          node = cp.node;
+          break;
+        }
+        case KPolicy::kDRealloc: {
+          realloc_now = arrived_since_realloc + event.size >
+                        d * topo.n_leaves();
+          if (!realloc_now) arrived_since_realloc += event.size;
+          const KCopyPlacement cp = copies.place(event.size);
+          copy_placements.emplace(event.id, cp);
+          node = cp.node;
+          break;
+        }
+      }
+      loads.assign(node);
+      active.emplace(event.id, std::make_pair(event.size, node));
+
+      if (realloc_now) {
+        // The generalized A_R: repack every active task (including the
+        // one that just arrived) largest-first into fresh copies.
+        ++result.reallocations;
+        arrived_since_realloc = 0;
+        struct Entry {
+          std::uint64_t id;
+          std::uint64_t size;
+        };
+        std::vector<Entry> entries;
+        entries.reserve(active.size());
+        for (const auto& [id, task] : active) {
+          entries.push_back({id, task.first});
+        }
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry& a, const Entry& b) {
+                    if (a.size != b.size) return a.size > b.size;
+                    return a.id < b.id;
+                  });
+        copies.clear();
+        copy_placements.clear();
+        for (const Entry& e : entries) {
+          const KCopyPlacement cp = copies.place(e.size);
+          copy_placements.emplace(e.id, cp);
+          auto& task = active.at(e.id);
+          if (task.second != cp.node) {
+            ++result.migrations;
+            loads.release(task.second);
+            loads.assign(cp.node);
+            task.second = cp.node;
+          }
+        }
+      }
+
+      peak_size = std::max(peak_size, loads.total_active_size());
+    } else {
+      const auto it = active.find(event.id);
+      PARTREE_ASSERT(it != active.end(), "departure of inactive task");
+      loads.release(it->second.second);
+      if (const auto cp = copy_placements.find(event.id);
+          cp != copy_placements.end()) {
+        copies.remove(cp->second);
+        copy_placements.erase(cp);
+      }
+      active.erase(it);
+    }
+    result.max_load = std::max(result.max_load, loads.max_load());
+  }
+
+  result.optimal_load =
+      peak_size == 0 ? 0 : util::ceil_div(peak_size, topo.n_leaves());
+  return result;
+}
+
+std::uint64_t k_greedy_bound(const KTopology& topo) {
+  return topo.height() + 1;
+}
+
+}  // namespace partree::karytree

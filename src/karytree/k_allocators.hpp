@@ -1,0 +1,70 @@
+// The paper's algorithm family on an arity-A machine, with a compact
+// engine: generalized greedy A_G, copies-based A_B, repacking A_R, and
+// the d-reallocation mix A_M. Demonstrates the paper's claim that the
+// results carry to every hierarchically decomposable machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "karytree/k_load_tree.hpp"
+#include "karytree/k_vacancy.hpp"
+
+namespace partree::karytree {
+
+/// A task event on the A-ary machine (sizes are powers of A).
+struct KEvent {
+  enum class Kind : std::uint8_t { kArrival, kDeparture } kind;
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;  // arrivals only
+};
+
+/// Builds a closed-loop event list with sizes drawn uniformly over the
+/// powers of A up to N, holding utilization near `utilization`.
+[[nodiscard]] std::vector<KEvent> k_closed_loop(const KTopology& topo,
+                                                std::uint64_t n_events,
+                                                double utilization,
+                                                std::uint64_t seed);
+
+/// Staircase nemesis for the A-ary machine: phase i fills residual
+/// capacity with size-A^i tasks and departs all but one task per
+/// A^(i+1)-block, leaving holes misaligned for the next size.
+[[nodiscard]] std::vector<KEvent> k_staircase(const KTopology& topo);
+
+enum class KPolicy : std::uint8_t {
+  kGreedy,    ///< generalized A_G: leftmost least-loaded submachine
+  kBasic,     ///< generalized A_B: first-fit over machine copies
+  kDRealloc,  ///< generalized A_M: A_B + repack past dN arrived volume
+};
+
+[[nodiscard]] std::string to_string(KPolicy policy);
+
+struct KRunResult {
+  std::uint64_t max_load = 0;
+  std::uint64_t optimal_load = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t migrations = 0;
+
+  [[nodiscard]] double ratio() const noexcept {
+    return optimal_load == 0
+               ? 1.0
+               : static_cast<double>(max_load) /
+                     static_cast<double>(optimal_load);
+  }
+};
+
+/// Replays `events` under the chosen policy; `d` matters only for
+/// kDRealloc (d = 0 reallocates on every arrival, the generalized A_C).
+[[nodiscard]] KRunResult k_run(const KTopology& topo,
+                               const std::vector<KEvent>& events,
+                               KPolicy policy, std::uint64_t d = 0);
+
+/// The generalized greedy upper-bound factor: the binary proof gives
+/// ceil((log2 N + 1)/2); per level of an arity-A machine the same
+/// argument yields ceil((log_A N)(A-1)/A) + 1 -- we report the simpler
+/// safe bound log_A(N) + 1 used by the bench tables.
+[[nodiscard]] std::uint64_t k_greedy_bound(const KTopology& topo);
+
+}  // namespace partree::karytree

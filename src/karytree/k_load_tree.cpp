@@ -1,0 +1,98 @@
+#include "karytree/k_load_tree.hpp"
+
+#include <algorithm>
+
+namespace partree::karytree {
+
+KLoadTree::KLoadTree(KTopology topo)
+    : topo_(topo), add_(topo.n_nodes(), 0), down_(topo.n_nodes(), 0) {}
+
+void KLoadTree::update_path(KNodeId v) {
+  while (true) {
+    std::uint64_t below = 0;
+    if (!topo_.is_leaf(v)) {
+      for (std::uint64_t k = 0; k < topo_.arity(); ++k) {
+        below = std::max(below, down_[topo_.child(v, k)]);
+      }
+    }
+    down_[v] = add_[v] + below;
+    if (v == 0) break;
+    v = topo_.parent(v);
+  }
+}
+
+void KLoadTree::assign(KNodeId v) {
+  PARTREE_ASSERT(topo_.valid(v), "assign to invalid node");
+  ++add_[v];
+  active_size_ += topo_.subtree_size(v);
+  update_path(v);
+}
+
+void KLoadTree::release(KNodeId v) {
+  PARTREE_ASSERT(topo_.valid(v) && add_[v] > 0, "bad release");
+  --add_[v];
+  active_size_ -= topo_.subtree_size(v);
+  update_path(v);
+}
+
+std::uint64_t KLoadTree::subtree_max(KNodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v), "subtree_max of invalid node");
+  std::uint64_t prefix = 0;
+  KNodeId u = v;
+  while (u != 0) {
+    u = topo_.parent(u);
+    prefix += add_[u];
+  }
+  return prefix + down_[v];
+}
+
+std::uint64_t KLoadTree::pe_load(std::uint64_t pe) const {
+  PARTREE_ASSERT(pe < topo_.n_leaves(), "PE out of range");
+  KNodeId v = topo_.node_for(1, pe);
+  std::uint64_t load = add_[v];
+  while (v != 0) {
+    v = topo_.parent(v);
+    load += add_[v];
+  }
+  return load;
+}
+
+KNodeId KLoadTree::min_load_node(std::uint64_t size) const {
+  const std::uint32_t target_depth = topo_.depth_for_size(size);
+  KNodeId best = topo_.n_nodes();  // sentinel
+  std::uint64_t best_load = UINT64_MAX;
+
+  struct Frame {
+    KNodeId node;
+    std::uint64_t prefix;
+  };
+  std::vector<Frame> stack{{KTopology::root(), 0}};
+  while (!stack.empty()) {
+    const auto [v, prefix] = stack.back();
+    stack.pop_back();
+    if (topo_.depth(v) == target_depth) {
+      const std::uint64_t value = prefix + down_[v];
+      if (value < best_load) {
+        best_load = value;
+        best = v;
+      }
+      continue;
+    }
+    const std::uint64_t here = prefix + add_[v];
+    if (here >= best_load) continue;
+    // Push children right-to-left so the leftmost is explored first.
+    for (std::uint64_t k = topo_.arity(); k-- > 0;) {
+      stack.push_back({topo_.child(v, k), here});
+    }
+  }
+  PARTREE_ASSERT(best != topo_.n_nodes(), "no candidate found");
+  return best;
+}
+
+void KLoadTree::clear() {
+  std::fill(add_.begin(), add_.end(), 0);
+  std::fill(down_.begin(), down_.end(), 0);
+  active_size_ = 0;
+}
+
+}  // namespace partree::karytree

@@ -1,0 +1,47 @@
+// Load accounting over an arity-A machine (generalizes tree::LoadTree).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "karytree/k_topology.hpp"
+
+namespace partree::karytree {
+
+class KLoadTree {
+ public:
+  explicit KLoadTree(KTopology topo);
+
+  [[nodiscard]] const KTopology& topology() const noexcept { return topo_; }
+
+  /// Adds/removes one task rooted at v. O(A log_A N).
+  void assign(KNodeId v);
+  void release(KNodeId v);
+
+  [[nodiscard]] std::uint64_t max_load() const noexcept { return down_[0]; }
+
+  /// Maximum PE load within subtree v. O(log_A N).
+  [[nodiscard]] std::uint64_t subtree_max(KNodeId v) const;
+
+  /// Load of one PE. O(log_A N).
+  [[nodiscard]] std::uint64_t pe_load(std::uint64_t pe) const;
+
+  /// Leftmost minimum-load submachine of `size` (generalized greedy).
+  [[nodiscard]] KNodeId min_load_node(std::uint64_t size) const;
+
+  [[nodiscard]] std::uint64_t total_active_size() const noexcept {
+    return active_size_;
+  }
+
+  void clear();
+
+ private:
+  void update_path(KNodeId v);
+
+  KTopology topo_;
+  std::vector<std::uint64_t> add_;
+  std::vector<std::uint64_t> down_;
+  std::uint64_t active_size_ = 0;
+};
+
+}  // namespace partree::karytree

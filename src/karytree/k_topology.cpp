@@ -1,0 +1,88 @@
+#include "karytree/k_topology.hpp"
+
+namespace partree::karytree {
+
+KTopology::KTopology(std::uint64_t arity, std::uint32_t height)
+    : arity_(arity), height_(height) {
+  PARTREE_ASSERT(arity >= 2, "arity must be at least 2");
+  PARTREE_ASSERT(height <= 40, "machine too tall");
+  level_offset_.reserve(height + 2);
+  level_size_.reserve(height + 1);
+  std::uint64_t offset = 0;
+  std::uint64_t size = 1;
+  for (std::uint32_t d = 0; d <= height; ++d) {
+    level_offset_.push_back(offset);
+    level_size_.push_back(size);
+    offset += size;
+    PARTREE_ASSERT(size <= UINT64_MAX / arity, "machine size overflow");
+    size *= arity;
+  }
+  level_offset_.push_back(offset);
+  n_leaves_ = level_size_[height];
+}
+
+KTopology KTopology::with_leaves(std::uint64_t arity,
+                                 std::uint64_t n_leaves) {
+  PARTREE_ASSERT(n_leaves >= 1, "need at least one leaf");
+  std::uint32_t height = 0;
+  std::uint64_t leaves = 1;
+  while (leaves < n_leaves) {
+    leaves *= arity;
+    ++height;
+  }
+  return KTopology(arity, height);
+}
+
+std::uint32_t KTopology::depth(KNodeId v) const {
+  PARTREE_DEBUG_ASSERT(valid(v), "depth of invalid node");
+  // level_offset_ is small (height + 2 entries); linear scan is fine and
+  // branch-predictable.
+  std::uint32_t d = 0;
+  while (v >= level_offset_[d + 1]) ++d;
+  return d;
+}
+
+std::uint64_t KTopology::subtree_size(KNodeId v) const {
+  return n_leaves_ / level_size_[depth(v)];
+}
+
+std::uint64_t KTopology::first_pe(KNodeId v) const {
+  const std::uint32_t d = depth(v);
+  return index_of(v) * (n_leaves_ / level_size_[d]);
+}
+
+bool KTopology::valid_size(std::uint64_t size) const {
+  if (size == 0 || size > n_leaves_) return false;
+  std::uint64_t s = 1;
+  while (s < size) s *= arity_;
+  return s == size;
+}
+
+std::uint32_t KTopology::depth_for_size(std::uint64_t size) const {
+  PARTREE_ASSERT(valid_size(size), "size is not a power of the arity");
+  std::uint32_t d = height_;
+  std::uint64_t s = 1;
+  while (s < size) {
+    s *= arity_;
+    --d;
+  }
+  return d;
+}
+
+KNodeId KTopology::node_for(std::uint64_t size, std::uint64_t index) const {
+  PARTREE_ASSERT(index < count_for_size(size), "submachine index out of range");
+  return level_offset_[depth_for_size(size)] + index;
+}
+
+bool KTopology::contains(KNodeId anc, KNodeId v) const {
+  PARTREE_DEBUG_ASSERT(valid(anc) && valid(v), "contains: invalid node");
+  std::uint32_t dv = depth(v);
+  const std::uint32_t da = depth(anc);
+  while (dv > da) {
+    v = parent(v);
+    --dv;
+  }
+  return v == anc;
+}
+
+}  // namespace partree::karytree

@@ -1,0 +1,96 @@
+// Arity-parametric hierarchically decomposable machines.
+//
+// The paper proves its results for the binary tree machine and notes they
+// hold for any hierarchically decomposable network (CM-5, SP2, meshes,
+// butterflies). This module generalizes the substrate to arity A: an
+// A-ary complete tree with N = A^h leaf PEs, submachine sizes powers of
+// A. Arity 4 models a 2-D mesh decomposed into quadrants; arity 2
+// coincides with the main library's machine (property-tested against it).
+//
+// Node ids are 0-based level order: root 0, children of v are
+// A*v + 1 .. A*v + A, level i starting at offset (A^i - 1)/(A - 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace partree::karytree {
+
+using KNodeId = std::uint64_t;
+
+class KTopology {
+ public:
+  /// An arity-A machine with A^height leaves; arity >= 2, height >= 0.
+  KTopology(std::uint64_t arity, std::uint32_t height);
+
+  /// Convenience: smallest A-ary machine with >= n_leaves leaves.
+  [[nodiscard]] static KTopology with_leaves(std::uint64_t arity,
+                                             std::uint64_t n_leaves);
+
+  [[nodiscard]] std::uint64_t arity() const noexcept { return arity_; }
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+  [[nodiscard]] std::uint64_t n_leaves() const noexcept { return n_leaves_; }
+  [[nodiscard]] std::uint64_t n_nodes() const noexcept {
+    return level_offset_[height_] + n_leaves_;
+  }
+
+  [[nodiscard]] static constexpr KNodeId root() noexcept { return 0; }
+  [[nodiscard]] KNodeId parent(KNodeId v) const {
+    PARTREE_DEBUG_ASSERT(v != 0, "root has no parent");
+    return (v - 1) / arity_;
+  }
+  [[nodiscard]] KNodeId child(KNodeId v, std::uint64_t k) const {
+    PARTREE_DEBUG_ASSERT(k < arity_, "child index out of range");
+    return arity_ * v + 1 + k;
+  }
+
+  [[nodiscard]] bool valid(KNodeId v) const noexcept {
+    return v < n_nodes();
+  }
+  [[nodiscard]] std::uint32_t depth(KNodeId v) const;
+  [[nodiscard]] bool is_leaf(KNodeId v) const {
+    return depth(v) == height_;
+  }
+
+  /// Leaves under v: arity^(height - depth).
+  [[nodiscard]] std::uint64_t subtree_size(KNodeId v) const;
+
+  /// First leaf index (PE) covered by v, and one past the last.
+  [[nodiscard]] std::uint64_t first_pe(KNodeId v) const;
+  [[nodiscard]] std::uint64_t end_pe(KNodeId v) const {
+    return first_pe(v) + subtree_size(v);
+  }
+
+  /// True iff sizes are legal submachine sizes (powers of A up to N).
+  [[nodiscard]] bool valid_size(std::uint64_t size) const;
+
+  /// Depth hosting submachines of `size`; requires valid_size(size).
+  [[nodiscard]] std::uint32_t depth_for_size(std::uint64_t size) const;
+
+  /// Number of submachines of `size` and the i-th one left to right.
+  [[nodiscard]] std::uint64_t count_for_size(std::uint64_t size) const {
+    return n_leaves_ / size;
+  }
+  [[nodiscard]] KNodeId node_for(std::uint64_t size,
+                                 std::uint64_t index) const;
+
+  /// Left-to-right rank of v among nodes of its depth.
+  [[nodiscard]] std::uint64_t index_of(KNodeId v) const {
+    return v - level_offset_[depth(v)];
+  }
+
+  /// True iff `anc` is an ancestor of (or equal to) `v`.
+  [[nodiscard]] bool contains(KNodeId anc, KNodeId v) const;
+
+ private:
+  std::uint64_t arity_;
+  std::uint32_t height_;
+  std::uint64_t n_leaves_;
+  std::vector<std::uint64_t> level_offset_;  // per depth
+  std::vector<std::uint64_t> level_size_;    // nodes per depth
+};
+
+}  // namespace partree::karytree

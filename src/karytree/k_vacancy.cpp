@@ -1,0 +1,91 @@
+#include "karytree/k_vacancy.hpp"
+
+#include <algorithm>
+
+namespace partree::karytree {
+
+KVacancyTree::KVacancyTree(KTopology topo)
+    : topo_(topo), occupied_(topo.n_nodes(), 0), free_(topo.n_nodes(), 0) {
+  for (KNodeId v = 0; v < topo_.n_nodes(); ++v) {
+    free_[v] = topo_.subtree_size(v);
+  }
+}
+
+std::uint64_t KVacancyTree::recompute(KNodeId v) const {
+  if (occupied_[v]) return 0;
+  if (topo_.is_leaf(v)) return 1;
+  std::uint64_t sum = 0;
+  std::uint64_t best = 0;
+  for (std::uint64_t k = 0; k < topo_.arity(); ++k) {
+    const std::uint64_t f = free_[topo_.child(v, k)];
+    sum += f;
+    best = std::max(best, f);
+  }
+  const std::uint64_t size = topo_.subtree_size(v);
+  // All children fully vacant: the blocks coalesce into one of full size.
+  return sum == size ? size : best;
+}
+
+void KVacancyTree::update_path(KNodeId v) {
+  while (true) {
+    free_[v] = recompute(v);
+    if (v == 0) break;
+    v = topo_.parent(v);
+  }
+}
+
+KNodeId KVacancyTree::allocate(std::uint64_t size) {
+  PARTREE_ASSERT(topo_.valid_size(size), "invalid allocation size");
+  PARTREE_ASSERT(can_fit(size), "no vacant submachine of requested size");
+  KNodeId v = KTopology::root();
+  while (topo_.subtree_size(v) > size) {
+    // Leftmost child that can hold the block.
+    KNodeId next = topo_.n_nodes();
+    for (std::uint64_t k = 0; k < topo_.arity(); ++k) {
+      const KNodeId c = topo_.child(v, k);
+      if (free_[c] >= size) {
+        next = c;
+        break;
+      }
+    }
+    PARTREE_ASSERT(next != topo_.n_nodes(), "free aggregate inconsistent");
+    v = next;
+  }
+  PARTREE_ASSERT(free_[v] == size, "target block not fully vacant");
+  occupied_[v] = 1;
+  update_path(v);
+  return v;
+}
+
+void KVacancyTree::release(KNodeId v) {
+  PARTREE_ASSERT(topo_.valid(v) && occupied_[v], "bad release");
+  occupied_[v] = 0;
+  update_path(v);
+}
+
+void KVacancyTree::clear() {
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  for (KNodeId v = 0; v < topo_.n_nodes(); ++v) {
+    free_[v] = topo_.subtree_size(v);
+  }
+}
+
+KCopyPlacement KCopySet::place(std::uint64_t size) {
+  for (std::uint64_t k = 0; k < copies_.size(); ++k) {
+    if (copies_[k].can_fit(size)) {
+      return {k, copies_[k].allocate(size)};
+    }
+  }
+  copies_.emplace_back(topo_);
+  return {copies_.size() - 1, copies_.back().allocate(size)};
+}
+
+void KCopySet::remove(const KCopyPlacement& placement) {
+  PARTREE_ASSERT(placement.copy < copies_.size(), "bad copy index");
+  copies_[placement.copy].release(placement.node);
+  while (!copies_.empty() && copies_.back().empty()) {
+    copies_.pop_back();
+  }
+}
+
+}  // namespace partree::karytree

@@ -1,0 +1,66 @@
+// Occupancy copies for the arity-A machine (generalizes VacancyTree and
+// CopySet): the substrate of the generalized A_B / A_R.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "karytree/k_topology.hpp"
+
+namespace partree::karytree {
+
+class KVacancyTree {
+ public:
+  explicit KVacancyTree(KTopology topo);
+
+  [[nodiscard]] std::uint64_t max_free() const noexcept { return free_[0]; }
+  [[nodiscard]] bool empty() const noexcept {
+    return free_[0] == topo_.n_leaves();
+  }
+  [[nodiscard]] bool can_fit(std::uint64_t size) const {
+    return free_[0] >= size;
+  }
+
+  /// Occupies the leftmost vacant size-`size` submachine; requires
+  /// can_fit(size) and a valid (power-of-arity) size.
+  KNodeId allocate(std::uint64_t size);
+  void release(KNodeId v);
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::uint64_t recompute(KNodeId v) const;
+  void update_path(KNodeId v);
+
+  KTopology topo_;
+  std::vector<std::uint8_t> occupied_;
+  std::vector<std::uint64_t> free_;
+};
+
+/// Location of a task in a KCopySet.
+struct KCopyPlacement {
+  std::uint64_t copy = 0;
+  KNodeId node = 0;
+
+  friend bool operator==(const KCopyPlacement&,
+                         const KCopyPlacement&) = default;
+};
+
+class KCopySet {
+ public:
+  explicit KCopySet(KTopology topo) : topo_(topo) {}
+
+  [[nodiscard]] std::uint64_t copy_count() const noexcept {
+    return copies_.size();
+  }
+
+  [[nodiscard]] KCopyPlacement place(std::uint64_t size);
+  void remove(const KCopyPlacement& placement);
+  void clear() { copies_.clear(); }
+
+ private:
+  KTopology topo_;
+  std::vector<KVacancyTree> copies_;
+};
+
+}  // namespace partree::karytree

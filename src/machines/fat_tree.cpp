@@ -1,0 +1,75 @@
+#include "machines/fat_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace partree::machines {
+
+FatTreeModel::FatTreeModel(tree::Topology topo, FatTreeConfig config)
+    : topo_(topo), capacity_(topo.n_nodes() + 1, 0.0) {
+  for (tree::NodeId v = 2; v <= topo_.n_nodes(); ++v) {
+    const std::uint32_t d = topo_.depth(v);
+    if (!config.capacity_by_depth.empty()) {
+      PARTREE_ASSERT(d < config.capacity_by_depth.size(),
+                     "capacity profile shorter than tree depth");
+      capacity_[v] = config.capacity_by_depth[d];
+    } else {
+      const auto size = static_cast<double>(topo_.subtree_size(v));
+      capacity_[v] = std::min(size, 4.0 * std::ceil(std::sqrt(size)));
+    }
+    PARTREE_ASSERT(capacity_[v] > 0.0, "channel capacity must be positive");
+  }
+}
+
+double FatTreeModel::channel_capacity(tree::NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v) && v != tree::Topology::root(),
+                 "the root has no upward channel");
+  return capacity_[v];
+}
+
+double FatTreeModel::channel_traffic(const core::MachineState& state,
+                                     tree::NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v) && v != tree::Topology::root(),
+                 "the root has no upward channel");
+  const double half = static_cast<double>(topo_.subtree_size(v)) / 2.0;
+  double traffic = 0.0;
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    // The channel above v is internal to the task iff the task's node is a
+    // strict ancestor of v.
+    if (at.node != v && topo_.contains(at.node, v)) {
+      traffic += half;
+    }
+  }
+  return traffic;
+}
+
+double FatTreeModel::max_congestion(const core::MachineState& state) const {
+  // Accumulate per-channel task counts in one pass: every strict
+  // descendant channel of a task's node carries subtree_size/2 of its
+  // traffic. Walk each task's subtree once.
+  std::vector<double> traffic(topo_.n_nodes() + 1, 0.0);
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    if (at.task.size == 1) continue;  // no internal channels
+    // Iterate all strict descendants of at.node.
+    std::vector<tree::NodeId> stack{tree::Topology::left(at.node),
+                                    tree::Topology::right(at.node)};
+    while (!stack.empty()) {
+      const tree::NodeId v = stack.back();
+      stack.pop_back();
+      traffic[v] += static_cast<double>(topo_.subtree_size(v)) / 2.0;
+      if (!topo_.is_leaf(v)) {
+        stack.push_back(tree::Topology::left(v));
+        stack.push_back(tree::Topology::right(v));
+      }
+    }
+  }
+  double worst = 0.0;
+  for (tree::NodeId v = 2; v <= topo_.n_nodes(); ++v) {
+    worst = std::max(worst, traffic[v] / capacity_[v]);
+  }
+  return worst;
+}
+
+}  // namespace partree::machines

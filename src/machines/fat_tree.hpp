@@ -1,0 +1,55 @@
+// CM-5-style fat-tree capacity model.
+//
+// The paper's motivating machines (CM-5, SP2) are fat trees: link capacity
+// grows toward the root, but -- as in the real CM-5 data network -- less
+// than doubles per level, so upper links are the scarce resource. This
+// model estimates, for a set of placed tasks, the worst channel congestion
+// under the standard random-permutation traffic assumption: a task whose
+// submachine contains an internal channel sends half of that channel's
+// subtree traffic across it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_state.hpp"
+#include "tree/topology.hpp"
+
+namespace partree::machines {
+
+struct FatTreeConfig {
+  /// Capacity of the channel above a node at depth d (index d); entry 0 is
+  /// unused (the root has no upward channel). If empty, a CM-5-like
+  /// profile is used: capacity(d) = min(subtree_size, 4 * ceil(sqrt(
+  /// subtree_size))) words per step.
+  std::vector<double> capacity_by_depth;
+};
+
+class FatTreeModel {
+ public:
+  explicit FatTreeModel(tree::Topology topo, FatTreeConfig config = {});
+
+  [[nodiscard]] const tree::Topology& topology() const noexcept {
+    return topo_;
+  }
+
+  /// Capacity of the upward channel of node v (depth >= 1).
+  [[nodiscard]] double channel_capacity(tree::NodeId v) const;
+
+  /// Expected traffic (words per step) crossing the upward channel of v,
+  /// summed over active tasks whose submachine strictly contains v, under
+  /// random-permutation traffic inside each task: each task contributes
+  /// subtree_size(v)/2.
+  [[nodiscard]] double channel_traffic(const core::MachineState& state,
+                                       tree::NodeId v) const;
+
+  /// Maximum traffic/capacity ratio over all channels (the placement's
+  /// congestion); 0 for an idle machine.
+  [[nodiscard]] double max_congestion(const core::MachineState& state) const;
+
+ private:
+  tree::Topology topo_;
+  std::vector<double> capacity_;  // indexed by node
+};
+
+}  // namespace partree::machines

@@ -1,0 +1,65 @@
+#include "machines/hypercube.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace partree::machines {
+
+std::string Subcube::to_string() const {
+  // Highest address bit first; '*' marks free dimensions.
+  const std::uint32_t bits =
+      dimension + static_cast<std::uint32_t>(std::popcount(mask));
+  std::string text;
+  text.reserve(bits);
+  for (std::uint32_t b = bits; b-- > 0;) {
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    if (mask & bit) {
+      text.push_back((value & bit) ? '1' : '0');
+    } else {
+      text.push_back('*');
+    }
+  }
+  return text.empty() ? "*" : text;
+}
+
+Subcube HypercubeView::subcube_of(tree::NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v), "subcube of invalid node");
+  const std::uint32_t dv = topo_.depth(v);
+  const std::uint32_t free_bits = topo_.height() - dv;
+  Subcube cube;
+  cube.dimension = free_bits;
+  // Fixed positions are the top dv address bits; their value is the
+  // node's left-to-right index at its depth.
+  const std::uint64_t fixed = topo_.index_of(v);
+  cube.mask = ((std::uint64_t{1} << dv) - 1) << free_bits;
+  cube.value = fixed << free_bits;
+  return cube;
+}
+
+std::vector<std::uint64_t> HypercubeView::members(tree::NodeId v) const {
+  const Subcube cube = subcube_of(v);
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(cube.size());
+  for (std::uint64_t offset = 0; offset < cube.size(); ++offset) {
+    addresses.push_back(cube.value | offset);
+  }
+  return addresses;
+}
+
+std::uint32_t HypercubeView::hamming(std::uint64_t a,
+                                     std::uint64_t b) noexcept {
+  return static_cast<std::uint32_t>(std::popcount(a ^ b));
+}
+
+std::uint64_t HypercubeView::migration_hops(tree::NodeId from,
+                                            tree::NodeId to) const {
+  PARTREE_ASSERT(topo_.subtree_size(from) == topo_.subtree_size(to),
+                 "migration between different sizes");
+  const Subcube src = subcube_of(from);
+  const Subcube dst = subcube_of(to);
+  const std::uint32_t prefix_hops = hamming(src.value, dst.value);
+  return static_cast<std::uint64_t>(prefix_hops) * src.size();
+}
+
+}  // namespace partree::machines

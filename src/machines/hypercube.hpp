@@ -1,0 +1,65 @@
+// Hypercube view of the tree machine.
+//
+// The paper notes its algorithms apply to any hierarchically decomposable
+// network, hypercubes included: an aligned block of 2^x leaves is exactly
+// the subcube obtained by fixing the top (log N - x) address bits. This
+// view maps tree submachines to subcubes and provides Hamming routing for
+// the migration-cost experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/topology.hpp"
+
+namespace partree::machines {
+
+/// A subcube: addresses a with (a & mask) == value; dimension = popcount
+/// of the free bits.
+struct Subcube {
+  std::uint64_t mask = 0;   ///< 1-bits are fixed positions
+  std::uint64_t value = 0;  ///< fixed bit values (subset of mask)
+  std::uint32_t dimension = 0;
+
+  [[nodiscard]] bool contains(std::uint64_t address) const noexcept {
+    return (address & mask) == value;
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << dimension;
+  }
+  [[nodiscard]] std::string to_string() const;  // e.g. "01**" for dim 2
+};
+
+class HypercubeView {
+ public:
+  explicit HypercubeView(tree::Topology topo) : topo_(topo) {}
+
+  [[nodiscard]] const tree::Topology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] std::uint32_t dimension() const noexcept {
+    return topo_.height();
+  }
+
+  /// The subcube corresponding to tree submachine v.
+  [[nodiscard]] Subcube subcube_of(tree::NodeId v) const;
+
+  /// All PE addresses in the subcube of v, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> members(tree::NodeId v) const;
+
+  /// Hamming distance (dimension-order routing hops) between two PEs.
+  [[nodiscard]] static std::uint32_t hamming(std::uint64_t a,
+                                             std::uint64_t b) noexcept;
+
+  /// Routing hops to migrate a whole submachine: every PE of `from` moves
+  /// its state to the same relative position in `to`, so each of the
+  /// size(from) PEs travels popcount(prefix difference) hops.
+  [[nodiscard]] std::uint64_t migration_hops(tree::NodeId from,
+                                             tree::NodeId to) const;
+
+ private:
+  tree::Topology topo_;
+};
+
+}  // namespace partree::machines

@@ -1,0 +1,83 @@
+#include "machines/mesh.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace partree::machines {
+
+namespace {
+
+/// Extracts every second bit of `v` starting at `start` (0 or 1).
+std::uint64_t deinterleave(std::uint64_t v, unsigned start) {
+  std::uint64_t out = 0;
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    out |= ((v >> (2 * bit + start)) & 1) << bit;
+  }
+  return out;
+}
+
+/// Spreads the low 32 bits of `v` to every second position from `start`.
+std::uint64_t interleave(std::uint64_t v, unsigned start) {
+  std::uint64_t out = 0;
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    out |= ((v >> bit) & 1) << (2 * bit + start);
+  }
+  return out;
+}
+
+std::uint64_t abs_diff(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+std::uint64_t MeshView::width() const noexcept {
+  return std::uint64_t{1} << ((topo_.height() + 1) / 2);
+}
+
+std::uint64_t MeshView::height() const noexcept {
+  return std::uint64_t{1} << (topo_.height() / 2);
+}
+
+MeshCoord MeshView::coord_of(tree::PeId pe) const {
+  PARTREE_ASSERT(pe < topo_.n_leaves(), "PE out of range");
+  // x takes bit positions 0, 2, 4, ...; y takes 1, 3, 5, ...
+  return {deinterleave(pe, 0), deinterleave(pe, 1)};
+}
+
+tree::PeId MeshView::pe_at(MeshCoord c) const {
+  PARTREE_ASSERT(c.x < width() && c.y < height(), "coordinate out of range");
+  return interleave(c.x, 0) | interleave(c.y, 1);
+}
+
+MeshBlock MeshView::block_of(tree::NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v), "block of invalid node");
+  const std::uint64_t size = topo_.subtree_size(v);
+  const std::uint32_t s = util::exact_log2(size);
+  MeshBlock block;
+  block.origin = coord_of(topo_.first_pe(v));
+  // The s free Morton bits split alternately between x and y, x first.
+  block.width = std::uint64_t{1} << ((s + 1) / 2);
+  block.height = std::uint64_t{1} << (s / 2);
+  return block;
+}
+
+std::uint64_t MeshView::manhattan(tree::PeId a, tree::PeId b) const {
+  const MeshCoord ca = coord_of(a);
+  const MeshCoord cb = coord_of(b);
+  return abs_diff(ca.x, cb.x) + abs_diff(ca.y, cb.y);
+}
+
+std::uint64_t MeshView::migration_hops(tree::NodeId from,
+                                       tree::NodeId to) const {
+  PARTREE_ASSERT(topo_.subtree_size(from) == topo_.subtree_size(to),
+                 "migration between different sizes");
+  const MeshBlock src = block_of(from);
+  const MeshBlock dst = block_of(to);
+  const std::uint64_t offset = abs_diff(src.origin.x, dst.origin.x) +
+                               abs_diff(src.origin.y, dst.origin.y);
+  return offset * src.area();
+}
+
+}  // namespace partree::machines

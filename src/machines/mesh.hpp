@@ -1,0 +1,70 @@
+// 2-D mesh view of the tree machine via the Morton (Z-order) curve.
+//
+// Leaf indices map to mesh coordinates by bit de-interleaving (x takes the
+// even bit positions, y the odd). Every tree submachine is then a dyadic
+// Morton range: a w x h rectangle with w/h in {1, 2} ratio -- the standard
+// way a quadtree-decomposable mesh hosts power-of-two partitions. Provides
+// Manhattan routing for the migration-cost experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/topology.hpp"
+
+namespace partree::machines {
+
+struct MeshCoord {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+
+  friend bool operator==(const MeshCoord&, const MeshCoord&) = default;
+};
+
+/// Axis-aligned rectangle of PEs.
+struct MeshBlock {
+  MeshCoord origin;
+  std::uint64_t width = 0;
+  std::uint64_t height = 0;
+
+  [[nodiscard]] std::uint64_t area() const noexcept {
+    return width * height;
+  }
+  friend bool operator==(const MeshBlock&, const MeshBlock&) = default;
+};
+
+class MeshView {
+ public:
+  explicit MeshView(tree::Topology topo) : topo_(topo) {}
+
+  [[nodiscard]] const tree::Topology& topology() const noexcept {
+    return topo_;
+  }
+
+  /// Mesh dimensions: width 2^ceil(logN/2), height 2^floor(logN/2).
+  [[nodiscard]] std::uint64_t width() const noexcept;
+  [[nodiscard]] std::uint64_t height() const noexcept;
+
+  /// Coordinates of a PE (leaf index) by Morton de-interleave.
+  [[nodiscard]] MeshCoord coord_of(tree::PeId pe) const;
+
+  /// Inverse mapping: PE index of mesh coordinates.
+  [[nodiscard]] tree::PeId pe_at(MeshCoord c) const;
+
+  /// The rectangle occupied by tree submachine v.
+  [[nodiscard]] MeshBlock block_of(tree::NodeId v) const;
+
+  /// Manhattan distance between two PEs.
+  [[nodiscard]] std::uint64_t manhattan(tree::PeId a, tree::PeId b) const;
+
+  /// Routing hops to migrate a submachine: each PE of `from` moves to the
+  /// same relative position in `to`; total = size * manhattan(origin
+  /// offset) because blocks of equal size are translates of each other.
+  [[nodiscard]] std::uint64_t migration_hops(tree::NodeId from,
+                                             tree::NodeId to) const;
+
+ private:
+  tree::Topology topo_;
+};
+
+}  // namespace partree::machines

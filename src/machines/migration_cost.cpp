@@ -1,0 +1,54 @@
+#include "machines/migration_cost.hpp"
+
+#include "util/assert.hpp"
+
+namespace partree::machines {
+
+std::string to_string(Interconnect kind) {
+  switch (kind) {
+    case Interconnect::kTree:
+      return "tree";
+    case Interconnect::kHypercube:
+      return "hypercube";
+    case Interconnect::kMesh:
+      return "mesh";
+  }
+  return "unknown";
+}
+
+MigrationCostModel::MigrationCostModel(tree::Topology topo, Interconnect kind,
+                                       std::uint64_t bytes_per_pe)
+    : topo_(topo),
+      kind_(kind),
+      bytes_per_pe_(bytes_per_pe),
+      cube_(topo),
+      mesh_(topo) {
+  PARTREE_ASSERT(bytes_per_pe >= 1, "bytes_per_pe must be positive");
+}
+
+std::uint64_t MigrationCostModel::cost(const core::Migration& m) const {
+  if (m.from == m.to) return 0;
+  std::uint64_t pe_hops = 0;
+  switch (kind_) {
+    case Interconnect::kTree:
+      pe_hops = topo_.subtree_size(m.from) *
+                topo_.hop_distance(m.from, m.to);
+      break;
+    case Interconnect::kHypercube:
+      pe_hops = cube_.migration_hops(m.from, m.to);
+      break;
+    case Interconnect::kMesh:
+      pe_hops = mesh_.migration_hops(m.from, m.to);
+      break;
+  }
+  return pe_hops * bytes_per_pe_;
+}
+
+std::uint64_t MigrationCostModel::total_cost(
+    std::span<const core::Migration> migrations) const {
+  std::uint64_t total = 0;
+  for (const core::Migration& m : migrations) total += cost(m);
+  return total;
+}
+
+}  // namespace partree::machines

@@ -1,0 +1,51 @@
+// Pricing "the trade": what a reallocation actually costs.
+//
+// The paper motivates infrequent reallocation by the expense of moving
+// checkpointed task state. This model prices a migration list on a
+// concrete interconnect so the d-sweep experiments can plot achieved load
+// against bytes moved x hops traveled:
+//
+//   tree:      task size x tree hop distance between old and new roots
+//   hypercube: per-PE Hamming routing (HypercubeView::migration_hops)
+//   mesh:      per-PE Manhattan routing (MeshView::migration_hops)
+//
+// Multiply by bytes_per_pe for checkpoint volume in byte-hops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/machine_state.hpp"
+#include "machines/hypercube.hpp"
+#include "machines/mesh.hpp"
+
+namespace partree::machines {
+
+enum class Interconnect : std::uint8_t { kTree, kHypercube, kMesh };
+
+[[nodiscard]] std::string to_string(Interconnect kind);
+
+class MigrationCostModel {
+ public:
+  MigrationCostModel(tree::Topology topo, Interconnect kind,
+                     std::uint64_t bytes_per_pe = 1);
+
+  [[nodiscard]] Interconnect kind() const noexcept { return kind_; }
+
+  /// Cost of one migration in byte-hops; 0 for self-moves.
+  [[nodiscard]] std::uint64_t cost(const core::Migration& migration) const;
+
+  /// Total cost of a migration list.
+  [[nodiscard]] std::uint64_t total_cost(
+      std::span<const core::Migration> migrations) const;
+
+ private:
+  tree::Topology topo_;
+  Interconnect kind_;
+  std::uint64_t bytes_per_pe_;
+  HypercubeView cube_;
+  MeshView mesh_;
+};
+
+}  // namespace partree::machines

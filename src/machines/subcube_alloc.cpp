@@ -1,0 +1,132 @@
+#include "machines/subcube_alloc.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace partree::machines {
+
+std::uint64_t gray_decode(std::uint64_t g) noexcept {
+  std::uint64_t i = g;
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) {
+    i ^= i >> shift;
+  }
+  return i;
+}
+
+std::string to_string(SubcubeStrategy strategy) {
+  switch (strategy) {
+    case SubcubeStrategy::kBuddy:
+      return "buddy";
+    case SubcubeStrategy::kGrayCode:
+      return "gray-code";
+  }
+  return "unknown";
+}
+
+SubcubeAllocator::SubcubeAllocator(std::uint32_t dimension,
+                                   SubcubeStrategy strategy)
+    : dim_(dimension),
+      strategy_(strategy),
+      busy_(std::uint64_t{1} << dimension, 0) {
+  PARTREE_ASSERT(dimension <= 30, "cube dimension too large");
+}
+
+bool SubcubeAllocator::range_free(std::uint64_t start,
+                                  std::uint64_t size) const {
+  for (std::uint64_t i = start; i < start + size; ++i) {
+    if (busy_[i]) return false;
+  }
+  return true;
+}
+
+std::optional<SubcubeBlock> SubcubeAllocator::allocate(std::uint64_t size) {
+  PARTREE_ASSERT(util::is_pow2(size) && size <= n_pes(),
+                 "subcube size must be a power of two <= N");
+  // Candidate starts: buddy blocks are aligned to `size`; the Gray-code
+  // strategy also recognizes the half-shifted runs (aligned to size/2).
+  const std::uint64_t step =
+      strategy_ == SubcubeStrategy::kGrayCode && size >= 2 ? size / 2 : size;
+  for (std::uint64_t start = 0; start + size <= n_pes(); start += step) {
+    if (range_free(start, size)) {
+      for (std::uint64_t i = start; i < start + size; ++i) busy_[i] = 1;
+      used_ += size;
+      return SubcubeBlock{start, size};
+    }
+  }
+  return std::nullopt;
+}
+
+void SubcubeAllocator::release(const SubcubeBlock& block) {
+  PARTREE_ASSERT(block.start + block.size <= n_pes(), "block out of range");
+  for (std::uint64_t i = block.start; i < block.start + block.size; ++i) {
+    PARTREE_ASSERT(busy_[i], "releasing a free PE");
+    busy_[i] = 0;
+  }
+  used_ -= block.size;
+}
+
+std::vector<std::uint64_t> SubcubeAllocator::members(
+    const SubcubeBlock& block) const {
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(block.size);
+  for (std::uint64_t i = block.start; i < block.start + block.size; ++i) {
+    addresses.push_back(strategy_ == SubcubeStrategy::kGrayCode
+                            ? gray_encode(i)
+                            : i);
+  }
+  return addresses;
+}
+
+bool SubcubeAllocator::is_subcube(const SubcubeBlock& block) const {
+  const auto addresses = members(block);
+  if (addresses.empty() || !util::is_pow2(addresses.size())) return false;
+  std::uint64_t mask = 0;
+  for (const std::uint64_t a : addresses) {
+    mask |= a ^ addresses.front();
+  }
+  // 2^k distinct addresses all inside an affine space of dimension
+  // popcount(mask): equality holds iff popcount(mask) == k.
+  return static_cast<std::uint64_t>(std::popcount(mask)) ==
+         util::exact_log2(addresses.size());
+}
+
+void SubcubeAllocator::clear() {
+  std::fill(busy_.begin(), busy_.end(), 0);
+  used_ = 0;
+}
+
+ExclusiveRunResult run_exclusive(SubcubeAllocator& allocator,
+                                 std::uint64_t steps, double arrival_bias,
+                                 util::Rng& rng) {
+  PARTREE_ASSERT(arrival_bias > 0.0 && arrival_bias < 1.0,
+                 "arrival bias must be in (0,1)");
+  ExclusiveRunResult result;
+  std::vector<SubcubeBlock> held;
+  double utilization_sum = 0.0;
+
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const bool arrive = held.empty() || rng.bernoulli(arrival_bias);
+    if (arrive) {
+      const std::uint64_t size =
+          std::uint64_t{1} << rng.below(allocator.dimension() + 1);
+      ++result.requests;
+      if (auto block = allocator.allocate(size)) {
+        held.push_back(*block);
+      } else {
+        ++result.rejections;
+      }
+    } else {
+      const std::uint64_t pick = rng.below(held.size());
+      allocator.release(held[pick]);
+      held[pick] = held.back();
+      held.pop_back();
+    }
+    utilization_sum += static_cast<double>(allocator.used()) /
+                       static_cast<double>(allocator.n_pes());
+  }
+  result.mean_utilization = utilization_sum / static_cast<double>(steps);
+  return result;
+}
+
+}  // namespace partree::machines

@@ -1,0 +1,111 @@
+// Exclusive subcube allocation: the related-work model.
+//
+// The hypercube literature the paper builds on (Chen-Shin [9][10],
+// Chen-Lai [12], Dutt-Hayes [11]) assumes EXCLUSIVE use: a subcube serves
+// one task, and a request that finds no free subcube is rejected. The
+// paper's departure from that model -- letting tasks share PEs and
+// studying thread load -- is its core contribution. This module implements
+// the two classic exclusive strategies so the rw1 bench can contrast the
+// models:
+//
+//  * Buddy strategy: free 2^k-blocks are the binary-aligned ones
+//    (addresses with the low k bits free) -- N/2^k candidates per size.
+//  * Gray-code (GC) strategy: PEs are visited in binary-reflected Gray
+//    order; every run of 2^k consecutive Gray codes starting at a
+//    multiple of 2^(k-1) is also a subcube, giving ~2x the candidates
+//    and strictly better recognition (Chen-Shin's classic result).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace partree::machines {
+
+/// Binary-reflected Gray code and its inverse.
+[[nodiscard]] constexpr std::uint64_t gray_encode(std::uint64_t i) noexcept {
+  return i ^ (i >> 1);
+}
+[[nodiscard]] std::uint64_t gray_decode(std::uint64_t g) noexcept;
+
+/// An allocated exclusive block: `start` index in strategy order, 2^k PEs.
+struct SubcubeBlock {
+  std::uint64_t start = 0;
+  std::uint64_t size = 0;
+
+  friend bool operator==(const SubcubeBlock&, const SubcubeBlock&) = default;
+};
+
+enum class SubcubeStrategy : std::uint8_t { kBuddy, kGrayCode };
+
+[[nodiscard]] std::string to_string(SubcubeStrategy strategy);
+
+/// Exclusive-use allocator over an n-cube of N = 2^dim PEs.
+class SubcubeAllocator {
+ public:
+  SubcubeAllocator(std::uint32_t dimension, SubcubeStrategy strategy);
+
+  [[nodiscard]] std::uint32_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] std::uint64_t n_pes() const noexcept {
+    return std::uint64_t{1} << dim_;
+  }
+  [[nodiscard]] SubcubeStrategy strategy() const noexcept {
+    return strategy_;
+  }
+
+  /// Attempts to allocate a free 2^k-PE subcube (size a power of two,
+  /// <= N); nullopt when the strategy recognizes none.
+  [[nodiscard]] std::optional<SubcubeBlock> allocate(std::uint64_t size);
+
+  /// Releases a block previously returned by allocate.
+  void release(const SubcubeBlock& block);
+
+  /// PE addresses (cube labels) of a block under this strategy.
+  [[nodiscard]] std::vector<std::uint64_t> members(
+      const SubcubeBlock& block) const;
+
+  /// True iff the members of `block` form a subcube (differ in a fixed
+  /// set of bit positions). Used by tests; true for every block either
+  /// strategy can return.
+  [[nodiscard]] bool is_subcube(const SubcubeBlock& block) const;
+
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+
+  void clear();
+
+ private:
+  [[nodiscard]] bool range_free(std::uint64_t start,
+                                std::uint64_t size) const;
+
+  std::uint32_t dim_;
+  SubcubeStrategy strategy_;
+  std::vector<std::uint8_t> busy_;  // indexed in strategy order
+  std::uint64_t used_ = 0;
+};
+
+/// Outcome of an exclusive-model run (see rw1 bench).
+struct ExclusiveRunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t rejections = 0;
+  double mean_utilization = 0.0;
+
+  [[nodiscard]] double rejection_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(rejections) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Drives an exclusive allocator with a random arrive/depart workload:
+/// each step either a new request (size 2^U[0,max_log], rejected if
+/// unrecognized) or a departure of a random held block.
+[[nodiscard]] ExclusiveRunResult run_exclusive(SubcubeAllocator& allocator,
+                                               std::uint64_t steps,
+                                               double arrival_bias,
+                                               util::Rng& rng);
+
+}  // namespace partree::machines

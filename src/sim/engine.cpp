@@ -1,0 +1,96 @@
+#include "sim/engine.hpp"
+
+#include <optional>
+
+#include "sim/slowdown.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace partree::sim {
+
+Engine::Engine(tree::Topology topo, EngineOptions options)
+    : topo_(topo), options_(options) {}
+
+SimResult Engine::run(const core::TaskSequence& sequence,
+                      core::Allocator& allocator) {
+  const std::string error = sequence.validate(topo_.n_leaves());
+  PARTREE_ASSERT(error.empty(), error.c_str());
+  core::SequenceSource source(sequence.events());
+  return run_interactive(source, allocator);
+}
+
+SimResult Engine::run_interactive(core::EventSource& source,
+                                  core::Allocator& allocator,
+                                  core::TaskSequence* recorded) {
+  util::Timer timer;
+  allocator.reset();
+  core::MachineState state(topo_);
+
+  SimResult result;
+  result.allocator = allocator.name();
+  result.n_pes = topo_.n_leaves();
+
+  std::optional<SlowdownTracker> slowdowns;
+  if (options_.record_slowdowns) slowdowns.emplace(topo_);
+
+  while (auto event = source.next(state)) {
+    if (event->kind == core::EventKind::kArrival) {
+      const core::Task& task = event->task;
+      if (recorded != nullptr) recorded->arrive_as(task.id, task.size);
+      const tree::NodeId node = allocator.place(task, state);
+      state.place(task, node);
+      bool reallocated = false;
+      if (auto migrations = allocator.maybe_reallocate(state)) {
+        ++result.reallocation_count;
+        reallocated = true;
+        if (options_.on_reallocation) options_.on_reallocation(*migrations);
+        for (const core::Migration& m : *migrations) {
+          if (m.from != m.to) {
+            ++result.migration_count;
+            result.migrated_size += state.active_task(m.id).task.size;
+          }
+        }
+        state.migrate(*migrations);
+      }
+      if (slowdowns) {
+        if (reallocated) {
+          slowdowns->on_reallocation(state);
+        } else {
+          slowdowns->on_arrival(task.id, state.active_task(task.id).node,
+                                state);
+        }
+      }
+      ++result.arrivals;
+    } else {
+      if (recorded != nullptr) recorded->depart(event->task.id);
+      if (slowdowns) slowdowns->on_departure(event->task.id, state);
+      allocator.on_departure(event->task.id, state);
+      state.remove(event->task.id);
+      ++result.departures;
+    }
+    ++result.events;
+
+    const std::uint64_t load = state.max_load();
+    if (load > result.max_load) {
+      result.max_load = load;
+      if (options_.record_peak_histogram) {
+        result.peak_pe_histogram.clear();
+        for (const std::uint64_t pe_load : state.pe_loads()) {
+          result.peak_pe_histogram.add(pe_load);
+        }
+      }
+    }
+    if (options_.record_series) result.load_series.push_back(load);
+  }
+
+  if (slowdowns) {
+    result.task_slowdowns = slowdowns->completed();
+    result.worst_slowdown = slowdowns->worst();
+    result.mean_slowdown = slowdowns->mean_completed();
+  }
+  result.optimal_load = state.optimal_load();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace partree::sim

@@ -1,0 +1,50 @@
+// The event-replay engine: drives an allocator over an event source,
+// validates every decision against the model, and collects metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/event_source.hpp"
+#include "core/sequence.hpp"
+#include "sim/result.hpp"
+
+namespace partree::sim {
+
+struct EngineOptions {
+  /// Record the post-event max-load series (needed for max_tau E[L]).
+  bool record_series = false;
+  /// Capture a per-PE load histogram at the first peak-load moment.
+  bool record_peak_histogram = false;
+  /// Track per-task slowdowns (max PE load inside each task's submachine
+  /// over its lifetime). Adds O(overlapping tasks) work per event.
+  bool record_slowdowns = false;
+  /// Invoked with each reallocation's migration list BEFORE it is applied
+  /// (placements in `from` are still live); used e.g. to price migrations
+  /// on a concrete interconnect.
+  std::function<void(std::span<const core::Migration>)> on_reallocation;
+};
+
+class Engine {
+ public:
+  explicit Engine(tree::Topology topo, EngineOptions options = {});
+
+  /// Replays a fixed sequence. The allocator is reset() first.
+  [[nodiscard]] SimResult run(const core::TaskSequence& sequence,
+                              core::Allocator& allocator);
+
+  /// Drives an interactive event source (e.g. the adaptive adversary).
+  /// If `recorded` is non-null, every produced event is appended to it so
+  /// the run can be replayed later as a fixed sequence.
+  [[nodiscard]] SimResult run_interactive(core::EventSource& source,
+                                          core::Allocator& allocator,
+                                          core::TaskSequence* recorded = nullptr);
+
+ private:
+  tree::Topology topo_;
+  EngineOptions options_;
+};
+
+}  // namespace partree::sim

@@ -1,0 +1,24 @@
+// Minimal thread-pool parallel_for for benchmark sweeps and trial batches.
+//
+// The workloads here are embarrassingly parallel (independent simulations),
+// so a dynamic index queue over std::thread workers is all we need; results
+// are written to pre-sized slots so no synchronisation beyond the counter.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace partree::sim {
+
+/// Number of workers used when `n_threads == 0`: hardware concurrency,
+/// at least 1.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Runs fn(0..n-1) across a pool of workers (dynamic scheduling). Any
+/// exception thrown by `fn` is rethrown on the calling thread after all
+/// workers finish. `n_threads == 0` selects default_thread_count(); pass 1
+/// to force serial execution (useful under sanitizers or for debugging).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t n_threads = 0);
+
+}  // namespace partree::sim

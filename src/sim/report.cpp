@@ -1,0 +1,41 @@
+#include "sim/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace partree::sim {
+
+util::Table results_table(std::span<const SimResult> results) {
+  util::Table table({"allocator", "N", "events", "max_load", "L*", "ratio",
+                     "reallocs", "migrations", "moved_size"});
+  for (const SimResult& r : results) {
+    table.add(r.allocator, r.n_pes, r.events, r.max_load, r.optimal_load,
+              r.ratio(), r.reallocation_count, r.migration_count,
+              r.migrated_size);
+  }
+  return table;
+}
+
+util::Table trials_table(std::span<const TrialAggregate> results) {
+  util::Table table({"allocator", "N", "trials", "L*", "E[max L]",
+                     "sd", "max_t E[L]", "E-ratio", "paper-ratio"});
+  for (const TrialAggregate& r : results) {
+    table.add(r.allocator, r.n_pes, r.trials, r.optimal_load,
+              r.expected_max_load, r.stddev_max_load, r.max_expected_load,
+              r.expected_ratio(), r.paper_ratio());
+  }
+  return table;
+}
+
+void write_csv_file(const util::Table& table, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open CSV output file: " + path);
+  }
+  table.write_csv(out);
+}
+
+}  // namespace partree::sim

@@ -1,0 +1,6 @@
+#include "sim/result.hpp"
+
+// SimResult is a plain aggregate; this TU exists so the target has a home
+// for future out-of-line members and to keep one-definition hygiene simple.
+
+namespace partree::sim {}  // namespace partree::sim

@@ -1,0 +1,54 @@
+// Simulation results and their aggregation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace partree::sim {
+
+/// Outcome of replaying one sequence through one allocator.
+struct SimResult {
+  std::string allocator;
+  std::uint64_t n_pes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+
+  /// L_A(sigma): maximum over events of the post-event machine max load.
+  std::uint64_t max_load = 0;
+  /// L*(sigma) = ceil(peak active size / N).
+  std::uint64_t optimal_load = 0;
+
+  /// Reallocation accounting ("the trade").
+  std::uint64_t reallocation_count = 0;
+  /// Physical task moves (migrations with from != to).
+  std::uint64_t migration_count = 0;
+  /// Sum of sizes of physically moved tasks (PE-sized checkpoint volume).
+  std::uint64_t migrated_size = 0;
+
+  /// Post-event max-load series; filled only when requested.
+  std::vector<std::uint64_t> load_series;
+  /// Per-completed-task slowdowns (Section 2's user-visible cost), in
+  /// departure order; filled only when requested.
+  std::vector<std::uint64_t> task_slowdowns;
+  /// Worst slowdown over all tasks (completed or not); 0 unless requested.
+  std::uint64_t worst_slowdown = 0;
+  /// Mean slowdown over completed tasks; 0 unless requested.
+  double mean_slowdown = 0.0;
+  /// Per-PE load histogram captured at the first moment of peak load;
+  /// filled only when requested.
+  util::Histogram peak_pe_histogram;
+
+  double wall_seconds = 0.0;
+
+  /// Competitive ratio vs the optimal load (1.0 when nothing ever ran).
+  [[nodiscard]] double ratio() const noexcept {
+    if (optimal_load == 0) return max_load == 0 ? 1.0 : 0.0;
+    return static_cast<double>(max_load) / static_cast<double>(optimal_load);
+  }
+};
+
+}  // namespace partree::sim

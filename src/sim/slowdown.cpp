@@ -1,0 +1,65 @@
+#include "sim/slowdown.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace partree::sim {
+
+void SlowdownTracker::refresh(core::TaskId id, tree::NodeId node,
+                              const core::MachineState& state) {
+  const std::uint64_t current = state.loads().subtree_max(node);
+  auto [it, inserted] = active_max_.try_emplace(id, current);
+  if (!inserted) it->second = std::max(it->second, current);
+}
+
+void SlowdownTracker::on_arrival(core::TaskId id, tree::NodeId node,
+                                 const core::MachineState& state) {
+  refresh(id, node, state);
+  // Only tasks overlapping the new task's PEs can see a load change:
+  // their node is an ancestor or descendant of `node`.
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    if (at.task.id == id) continue;
+    if (topo_.contains(at.node, node) || topo_.contains(node, at.node)) {
+      refresh(at.task.id, at.node, state);
+    }
+  }
+}
+
+void SlowdownTracker::on_departure(core::TaskId id,
+                                   const core::MachineState& state) {
+  // Ensure the final level is recorded (covers a departure arriving
+  // before any refresh, e.g. a task placed and removed with no overlap).
+  refresh(id, state.active_task(id).node, state);
+  const auto it = active_max_.find(id);
+  PARTREE_ASSERT(it != active_max_.end(), "slowdown: unknown departure");
+  completed_.push_back(it->second);
+  active_max_.erase(it);
+}
+
+void SlowdownTracker::on_reallocation(const core::MachineState& state) {
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    refresh(at.task.id, at.node, state);
+  }
+}
+
+std::uint64_t SlowdownTracker::worst() const noexcept {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t s : completed_) worst = std::max(worst, s);
+  for (const auto& [id, s] : active_max_) worst = std::max(worst, s);
+  return worst;
+}
+
+double SlowdownTracker::mean_completed() const noexcept {
+  if (completed_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : completed_) total += s;
+  return static_cast<double>(total) / static_cast<double>(completed_.size());
+}
+
+void SlowdownTracker::clear() {
+  active_max_.clear();
+  completed_.clear();
+}
+
+}  // namespace partree::sim

@@ -1,0 +1,60 @@
+// Per-task slowdown tracking.
+//
+// Section 2 of the paper: when PEs time-share their threads round-robin,
+// the worst slowdown a user ever experiences is proportional to the
+// maximum load of any PE in the submachine allocated to them, over their
+// task's lifetime. This tracker maintains exactly that quantity per active
+// task and reports the distribution over completed tasks -- the
+// user-visible cost of the load imbalance the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine_state.hpp"
+
+namespace partree::sim {
+
+class SlowdownTracker {
+ public:
+  explicit SlowdownTracker(tree::Topology topo) : topo_(topo) {}
+
+  /// Call after an arrival is applied; `node` is the new task's placement.
+  /// Refreshes the new task and every active task whose submachine
+  /// intersects it (an ancestor or descendant of `node`).
+  void on_arrival(core::TaskId id, tree::NodeId node,
+                  const core::MachineState& state);
+
+  /// Call BEFORE a departure is applied (placement still live): finalizes
+  /// the departing task's slowdown. Load only drops on departures, so
+  /// remaining tasks need no refresh.
+  void on_departure(core::TaskId id, const core::MachineState& state);
+
+  /// Call after a reallocation is applied: every placement may have
+  /// changed, so every active task is refreshed.
+  void on_reallocation(const core::MachineState& state);
+
+  /// Slowdowns of completed tasks, in departure order.
+  [[nodiscard]] const std::vector<std::uint64_t>& completed() const noexcept {
+    return completed_;
+  }
+
+  /// Worst slowdown over completed AND still-active tasks.
+  [[nodiscard]] std::uint64_t worst() const noexcept;
+
+  /// Mean slowdown over completed tasks (0 when none completed).
+  [[nodiscard]] double mean_completed() const noexcept;
+
+  void clear();
+
+ private:
+  void refresh(core::TaskId id, tree::NodeId node,
+               const core::MachineState& state);
+
+  tree::Topology topo_;
+  std::unordered_map<core::TaskId, std::uint64_t> active_max_;
+  std::vector<std::uint64_t> completed_;
+};
+
+}  // namespace partree::sim

@@ -1,0 +1,64 @@
+#include "sim/trials.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace partree::sim {
+
+TrialAggregate run_trials(tree::Topology topo,
+                          const core::TaskSequence& sequence,
+                          std::string_view spec,
+                          const TrialOptions& options) {
+  PARTREE_ASSERT(options.trials >= 1, "need at least one trial");
+
+  std::vector<SimResult> results(options.trials);
+  parallel_for(
+      options.trials,
+      [&](std::size_t i) {
+        auto allocator =
+            core::make_allocator(spec, topo, options.seed + i);
+        EngineOptions engine_options;
+        engine_options.record_series = true;
+        Engine engine(topo, engine_options);
+        results[i] = engine.run(sequence, *allocator);
+      },
+      options.n_threads);
+
+  TrialAggregate agg;
+  agg.allocator = results.front().allocator;
+  agg.n_pes = topo.n_leaves();
+  agg.trials = options.trials;
+  agg.optimal_load = results.front().optimal_load;
+
+  util::RunningStats max_stats;
+  for (const SimResult& r : results) {
+    max_stats.add(static_cast<double>(r.max_load));
+  }
+  agg.expected_max_load = max_stats.mean();
+  agg.stddev_max_load = max_stats.stddev();
+  agg.min_max_load = static_cast<std::uint64_t>(max_stats.min());
+  agg.max_max_load = static_cast<std::uint64_t>(max_stats.max());
+
+  // Pointwise mean of the load series, then max over time.
+  const std::size_t horizon = results.front().load_series.size();
+  double best = 0.0;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    double sum = 0.0;
+    for (const SimResult& r : results) {
+      PARTREE_ASSERT(r.load_series.size() == horizon,
+                     "trial series length mismatch");
+      sum += static_cast<double>(r.load_series[t]);
+    }
+    best = std::max(best, sum / static_cast<double>(options.trials));
+  }
+  agg.max_expected_load = best;
+  return agg;
+}
+
+}  // namespace partree::sim

@@ -1,0 +1,84 @@
+#include "sim/viz.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace partree::sim {
+
+namespace {
+
+char load_glyph(std::uint64_t load) {
+  if (load == 0) return '.';
+  if (load <= 9) return static_cast<char>('0' + load);
+  return '#';
+}
+
+/// Maps PE range [first, end) to column range under downsampling.
+struct ColumnMap {
+  std::size_t columns;
+  std::uint64_t pes_per_column;
+
+  [[nodiscard]] std::size_t column_of(std::uint64_t pe) const {
+    return static_cast<std::size_t>(pe / pes_per_column);
+  }
+};
+
+ColumnMap make_map(std::uint64_t n_pes, std::size_t max_columns) {
+  std::uint64_t per = 1;
+  while (n_pes / per > max_columns) per *= 2;
+  return {static_cast<std::size_t>(n_pes / per), per};
+}
+
+}  // namespace
+
+std::string render_load_strip(const core::MachineState& state,
+                              std::size_t max_columns) {
+  const ColumnMap map = make_map(state.n_pes(), max_columns);
+  const auto loads = state.pe_loads();
+  // Downsampled columns show the max load among their PEs.
+  std::vector<std::uint64_t> col_max(map.columns, 0);
+  for (std::uint64_t pe = 0; pe < loads.size(); ++pe) {
+    std::uint64_t& slot = col_max[map.column_of(pe)];
+    slot = std::max(slot, loads[pe]);
+  }
+  std::string strip(map.columns, '.');
+  for (std::size_t col = 0; col < map.columns; ++col) {
+    strip[col] = load_glyph(col_max[col]);
+  }
+  return strip;
+}
+
+std::string render_machine(const core::MachineState& state,
+                           const VizOptions& options) {
+  const ColumnMap map = make_map(state.n_pes(), options.max_columns);
+  std::ostringstream out;
+  out << "loads: " << render_load_strip(state, options.max_columns) << '\n';
+
+  auto tasks = state.active_tasks();
+  std::sort(tasks.begin(), tasks.end(),
+            [](const core::ActiveTask& a, const core::ActiveTask& b) {
+              if (a.task.size != b.task.size) {
+                return a.task.size > b.task.size;
+              }
+              return a.task.id < b.task.id;
+            });
+
+  const std::size_t rows =
+      std::min(tasks.size(), options.max_task_rows);
+  const tree::Topology& topo = state.topology();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const core::ActiveTask& at = tasks[r];
+    std::string span(map.columns, '.');
+    const std::size_t first = map.column_of(topo.first_pe(at.node));
+    const std::size_t last = map.column_of(topo.end_pe(at.node) - 1);
+    for (std::size_t c = first; c <= last; ++c) span[c] = '=';
+    out << 't' << at.task.id << "\t[" << span << "]\n";
+  }
+  if (tasks.size() > rows) {
+    out << "... (" << (tasks.size() - rows) << " more tasks)\n";
+  }
+  return out.str();
+}
+
+}  // namespace partree::sim

@@ -1,0 +1,31 @@
+// ASCII visualization of machine state: per-PE load strip plus the
+// active submachines drawn as spans, level by level -- the picture the
+// paper's Figure 1 sketches, generated from live state.
+#pragma once
+
+#include <string>
+
+#include "core/machine_state.hpp"
+
+namespace partree::sim {
+
+struct VizOptions {
+  /// Widest machine rendered one-column-per-PE; larger machines are
+  /// downsampled to this many columns.
+  std::size_t max_columns = 128;
+  /// Show at most this many task rows (largest first).
+  std::size_t max_task_rows = 24;
+};
+
+/// Renders the PE load strip (digits, '#' for loads > 9) and one row per
+/// active task showing its submachine span, e.g.
+///   loads: 2211000011110000
+///   t3 [====----........]
+[[nodiscard]] std::string render_machine(const core::MachineState& state,
+                                         const VizOptions& options = {});
+
+/// One-line load strip only.
+[[nodiscard]] std::string render_load_strip(const core::MachineState& state,
+                                            std::size_t max_columns = 128);
+
+}  // namespace partree::sim

@@ -1,0 +1,53 @@
+#include "tree/copy_set.hpp"
+
+#include <numeric>
+
+namespace partree::tree {
+
+CopySet::CopySet(Topology topo, CopyFit fit) : topo_(topo), fit_(fit) {}
+
+CopyPlacement CopySet::place(std::uint64_t size) {
+  if (fit_ == CopyFit::kFirstFit) {
+    for (std::uint64_t k = 0; k < copies_.size(); ++k) {
+      if (copies_[k].can_fit(size)) {
+        return {k, copies_[k].allocate(size)};
+      }
+    }
+  } else {
+    // Best fit: the copy whose largest vacant block is the tightest
+    // sufficient one (earliest copy on ties).
+    std::uint64_t best = copies_.size();
+    std::uint64_t best_free = UINT64_MAX;
+    for (std::uint64_t k = 0; k < copies_.size(); ++k) {
+      const std::uint64_t free = copies_[k].max_free();
+      if (free >= size && free < best_free) {
+        best = k;
+        best_free = free;
+      }
+    }
+    if (best != copies_.size()) {
+      return {best, copies_[best].allocate(size)};
+    }
+  }
+  copies_.emplace_back(topo_);
+  return {copies_.size() - 1, copies_.back().allocate(size)};
+}
+
+void CopySet::remove(const CopyPlacement& placement) {
+  PARTREE_ASSERT(placement.copy < copies_.size(),
+                 "remove from nonexistent copy");
+  copies_[placement.copy].release(placement.node);
+  while (!copies_.empty() && copies_.back().empty()) {
+    copies_.pop_back();
+  }
+}
+
+std::uint64_t CopySet::used() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& copy : copies_) total += copy.used();
+  return total;
+}
+
+void CopySet::clear() { copies_.clear(); }
+
+}  // namespace partree::tree

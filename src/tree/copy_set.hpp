@@ -1,0 +1,64 @@
+// An ordered stack of machine copies: the substrate of A_R and A_B.
+//
+// Copies are ordered by creation time; a placement request scans copies in
+// order and takes the leftmost vacant block in the first copy that fits
+// (creating a fresh copy when none fits). Physically, a task placed in copy
+// k at node v occupies subtree v of the real machine; copies are pure
+// bookkeeping that cap the machine's maximum load by the copy count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/vacancy_tree.hpp"
+
+namespace partree::tree {
+
+/// Location of a task inside a CopySet.
+struct CopyPlacement {
+  std::uint64_t copy = 0;       ///< copy index at placement time
+  NodeId node = kInvalidNode;   ///< subtree root within the machine
+
+  friend bool operator==(const CopyPlacement&, const CopyPlacement&) = default;
+};
+
+/// Copy-selection policy. The paper's A_B/A_R use first-fit, and Lemma
+/// 2's proof depends on it (its Claim 1 fails under best-fit); the
+/// best-fit variant exists for the ab4 ablation.
+enum class CopyFit : std::uint8_t {
+  kFirstFit,  ///< first copy (creation order) that can hold the block
+  kBestFit,   ///< copy with the smallest sufficient vacant block
+};
+
+class CopySet {
+ public:
+  explicit CopySet(Topology topo, CopyFit fit = CopyFit::kFirstFit);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Number of copies currently in existence (>= 1 after first placement).
+  [[nodiscard]] std::uint64_t copy_count() const noexcept {
+    return copies_.size();
+  }
+
+  /// First-fit placement: first copy with a vacant block of `size`,
+  /// leftmost block within it. Creates a new copy when none fits.
+  [[nodiscard]] CopyPlacement place(std::uint64_t size);
+
+  /// Releases a previous placement. Trailing empty copies are discarded
+  /// (search order over the remaining copies is unchanged, so behaviour is
+  /// identical to keeping them).
+  void remove(const CopyPlacement& placement);
+
+  /// Total occupied PE count across copies.
+  [[nodiscard]] std::uint64_t used() const noexcept;
+
+  void clear();
+
+ private:
+  Topology topo_;
+  CopyFit fit_;
+  std::vector<VacancyTree> copies_;
+};
+
+}  // namespace partree::tree

@@ -1,0 +1,183 @@
+#include "tree/level_forest.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace partree::tree {
+
+MinSegTree::MinSegTree(std::uint64_t size)
+    : size_(size),
+      base_(size <= 1 ? 1 : util::pow2_ceil(size)),
+      min_(2 * base_, 0),
+      lazy_(2 * base_, 0) {
+  PARTREE_ASSERT(size >= 1, "MinSegTree needs at least one element");
+}
+
+void MinSegTree::range_add_rec(std::uint64_t node, std::uint64_t node_lo,
+                               std::uint64_t node_hi, std::uint64_t lo,
+                               std::uint64_t hi, std::int64_t delta) {
+  if (hi <= node_lo || node_hi <= lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    min_[node] += delta;
+    lazy_[node] += delta;
+    return;
+  }
+  const std::uint64_t mid = (node_lo + node_hi) / 2;
+  range_add_rec(2 * node, node_lo, mid, lo, hi, delta);
+  range_add_rec(2 * node + 1, mid, node_hi, lo, hi, delta);
+  min_[node] = std::min(min_[2 * node], min_[2 * node + 1]) + lazy_[node];
+}
+
+void MinSegTree::range_add(std::uint64_t lo, std::uint64_t hi,
+                           std::int64_t delta) {
+  PARTREE_ASSERT(lo <= hi && hi <= size_, "range_add out of bounds");
+  if (lo == hi) return;
+  range_add_rec(1, 0, base_, lo, hi, delta);
+}
+
+void MinSegTree::point_set_rec(std::uint64_t node, std::uint64_t node_lo,
+                               std::uint64_t node_hi, std::uint64_t pos,
+                               std::int64_t value) {
+  if (node_hi - node_lo == 1) {
+    min_[node] = value;
+    lazy_[node] = 0;
+    return;
+  }
+  const std::uint64_t mid = (node_lo + node_hi) / 2;
+  // `value` is an absolute element value; children store values relative to
+  // the pending adds of their ancestors, so subtract this node's lazy on
+  // the way down instead of pushing lazies (keeps const point_get simple).
+  if (pos < mid) {
+    point_set_rec(2 * node, node_lo, mid, pos, value - lazy_[node]);
+  } else {
+    point_set_rec(2 * node + 1, mid, node_hi, pos, value - lazy_[node]);
+  }
+  min_[node] = std::min(min_[2 * node], min_[2 * node + 1]) + lazy_[node];
+}
+
+void MinSegTree::point_set(std::uint64_t pos, std::int64_t value) {
+  PARTREE_ASSERT(pos < size_, "point_set out of bounds");
+  point_set_rec(1, 0, base_, pos, value);
+}
+
+std::int64_t MinSegTree::point_get(std::uint64_t pos) const {
+  PARTREE_ASSERT(pos < size_, "point_get out of bounds");
+  std::uint64_t node = 1;
+  std::uint64_t node_lo = 0;
+  std::uint64_t node_hi = base_;
+  std::int64_t offset = 0;
+  while (node_hi - node_lo > 1) {
+    offset += lazy_[node];
+    const std::uint64_t mid = (node_lo + node_hi) / 2;
+    if (pos < mid) {
+      node = 2 * node;
+      node_hi = mid;
+    } else {
+      node = 2 * node + 1;
+      node_lo = mid;
+    }
+  }
+  return min_[node] + offset;
+}
+
+std::int64_t MinSegTree::min_value() const {
+  // Padding elements (indices >= size_) only exist when size_ is not a
+  // power of two; LevelForest always uses power-of-two sizes, and padding
+  // stays at the minimum of real elements' updates only if untouched.
+  // Guard anyway by scanning the top when padding exists.
+  if (base_ == size_) return min_[1];
+  std::int64_t best = point_get(0);
+  for (std::uint64_t i = 1; i < size_; ++i) {
+    best = std::min(best, point_get(i));
+  }
+  return best;
+}
+
+std::uint64_t MinSegTree::argmin() const {
+  if (base_ != size_) {
+    // Fallback linear scan for non-power-of-two sizes (not used on the
+    // hot path).
+    std::int64_t best = point_get(0);
+    std::uint64_t best_pos = 0;
+    for (std::uint64_t i = 1; i < size_; ++i) {
+      const std::int64_t v = point_get(i);
+      if (v < best) {
+        best = v;
+        best_pos = i;
+      }
+    }
+    return best_pos;
+  }
+  std::uint64_t node = 1;
+  std::uint64_t node_lo = 0;
+  std::uint64_t node_hi = base_;
+  while (node_hi - node_lo > 1) {
+    const std::uint64_t mid = (node_lo + node_hi) / 2;
+    // Prefer the left child on ties for the leftmost argmin.
+    if (min_[2 * node] <= min_[2 * node + 1]) {
+      node = 2 * node;
+      node_hi = mid;
+    } else {
+      node = 2 * node + 1;
+      node_lo = mid;
+    }
+  }
+  return node_lo;
+}
+
+LevelForest::LevelForest(Topology topo) : topo_(topo) {
+  levels_.reserve(topo_.height() + 1);
+  for (std::uint32_t d = 0; d <= topo_.height(); ++d) {
+    levels_.emplace_back(std::uint64_t{1} << d);
+  }
+}
+
+void LevelForest::apply(NodeId v, std::int64_t delta) {
+  PARTREE_ASSERT(topo_.valid(v), "LevelForest: invalid node");
+  const std::uint32_t dv = topo_.depth(v);
+  const std::uint64_t idx = topo_.index_of(v);
+
+  // Deeper levels (including v's own): aligned range add.
+  for (std::uint32_t d = dv; d <= topo_.height(); ++d) {
+    const std::uint32_t shift = d - dv;
+    levels_[d].range_add(idx << shift, (idx + 1) << shift, delta);
+  }
+  // Ancestors: recompute as max of children.
+  NodeId u = v;
+  for (std::uint32_t d = dv; d-- > 0;) {
+    u = Topology::parent(u);
+    const std::uint64_t ui = topo_.index_of(u);
+    const std::int64_t lhs = levels_[d + 1].point_get(2 * ui);
+    const std::int64_t rhs = levels_[d + 1].point_get(2 * ui + 1);
+    levels_[d].point_set(ui, std::max(lhs, rhs));
+  }
+}
+
+void LevelForest::assign(NodeId v) { apply(v, +1); }
+
+void LevelForest::release(NodeId v) { apply(v, -1); }
+
+std::uint64_t LevelForest::max_load() const {
+  return static_cast<std::uint64_t>(levels_[0].point_get(0));
+}
+
+std::uint64_t LevelForest::subtree_max(NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v), "subtree_max of invalid node");
+  const std::uint32_t dv = topo_.depth(v);
+  return static_cast<std::uint64_t>(levels_[dv].point_get(topo_.index_of(v)));
+}
+
+NodeId LevelForest::min_load_node(std::uint64_t size) const {
+  const std::uint32_t d = topo_.depth_for_size(size);
+  const std::uint64_t idx = levels_[d].argmin();
+  return (NodeId{1} << d) + idx;
+}
+
+void LevelForest::clear() {
+  for (std::uint32_t d = 0; d <= topo_.height(); ++d) {
+    levels_[d] = MinSegTree(std::uint64_t{1} << d);
+  }
+}
+
+}  // namespace partree::tree

@@ -1,0 +1,96 @@
+// Fast per-level minimum-load submachine queries.
+//
+// The greedy algorithm A_G needs, for an arriving task of size 2^x, the
+// leftmost size-2^x submachine of minimum load. LoadTree answers this
+// exactly with an O(N/2^x) level scan; LevelForest trades memory for an
+// O(log^2 N) update / O(log N) query alternative:
+//
+// For every depth D we keep a segment tree over the 2^D nodes of that
+// depth, storing each node's subtree-max load. Assigning a task at node u
+// (depth Du) raises every leaf under u by exactly one, hence raises the
+// subtree-max of every depth-D node under u (D >= Du) by exactly one -- a
+// range add on an aligned interval of each deeper level. Ancestors of u
+// (D < Du) are recomputed bottom-up as max of their two children -- a point
+// read + point write per level.
+//
+// Property tests pin every query equal to LoadTree's exact scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/topology.hpp"
+
+namespace partree::tree {
+
+/// Segment tree over a fixed-size array of loads supporting range add,
+/// point set, point get, and leftmost-argmin. Internal helper of
+/// LevelForest but reusable (and tested) on its own.
+class MinSegTree {
+ public:
+  explicit MinSegTree(std::uint64_t size);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// Adds `delta` to every element in [lo, hi).
+  void range_add(std::uint64_t lo, std::uint64_t hi, std::int64_t delta);
+
+  /// Overwrites element `pos` with `value`.
+  void point_set(std::uint64_t pos, std::int64_t value);
+
+  /// Reads element `pos`.
+  [[nodiscard]] std::int64_t point_get(std::uint64_t pos) const;
+
+  /// Minimum over the whole array.
+  [[nodiscard]] std::int64_t min_value() const;
+
+  /// Smallest index attaining min_value().
+  [[nodiscard]] std::uint64_t argmin() const;
+
+ private:
+  void range_add_rec(std::uint64_t node, std::uint64_t node_lo,
+                     std::uint64_t node_hi, std::uint64_t lo,
+                     std::uint64_t hi, std::int64_t delta);
+  void point_set_rec(std::uint64_t node, std::uint64_t node_lo,
+                     std::uint64_t node_hi, std::uint64_t pos,
+                     std::int64_t value);
+
+  std::uint64_t size_;
+  std::uint64_t base_;  // power-of-two capacity
+  std::vector<std::int64_t> min_;
+  std::vector<std::int64_t> lazy_;
+};
+
+/// The per-level forest; mirrors LoadTree's assign/release interface.
+class LevelForest {
+ public:
+  explicit LevelForest(Topology topo);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Adds one task rooted at node v. O(log^2 N).
+  void assign(NodeId v);
+
+  /// Removes one task rooted at node v. O(log^2 N).
+  void release(NodeId v);
+
+  /// Maximum PE load of the machine.
+  [[nodiscard]] std::uint64_t max_load() const;
+
+  /// Maximum PE load within submachine v. O(log N).
+  [[nodiscard]] std::uint64_t subtree_max(NodeId v) const;
+
+  /// Leftmost submachine of the given size with minimal maximum load.
+  /// O(log N).
+  [[nodiscard]] NodeId min_load_node(std::uint64_t size) const;
+
+  void clear();
+
+ private:
+  void apply(NodeId v, std::int64_t delta);
+
+  Topology topo_;
+  std::vector<MinSegTree> levels_;  // levels_[D]: depth-D nodes
+};
+
+}  // namespace partree::tree

@@ -1,0 +1,127 @@
+#include "tree/load_tree.hpp"
+
+#include <algorithm>
+
+namespace partree::tree {
+
+LoadTree::LoadTree(Topology topo)
+    : topo_(topo),
+      add_(topo.n_nodes() + 1, 0),
+      down_(topo.n_nodes() + 1, 0) {}
+
+void LoadTree::update_path(NodeId v) {
+  // Recompute `down` from v up to the root.
+  while (v >= 1) {
+    const std::uint64_t below =
+        topo_.is_leaf(v) ? 0 : std::max(down_[Topology::left(v)],
+                                        down_[Topology::right(v)]);
+    down_[v] = add_[v] + below;
+    if (v == 1) break;
+    v = Topology::parent(v);
+  }
+}
+
+void LoadTree::assign(NodeId v) {
+  PARTREE_ASSERT(topo_.valid(v), "assign to invalid node");
+  ++add_[v];
+  active_size_ += topo_.subtree_size(v);
+  ++active_tasks_;
+  update_path(v);
+}
+
+void LoadTree::release(NodeId v) {
+  PARTREE_ASSERT(topo_.valid(v), "release of invalid node");
+  PARTREE_ASSERT(add_[v] > 0, "release with no task rooted at node");
+  --add_[v];
+  active_size_ -= topo_.subtree_size(v);
+  --active_tasks_;
+  update_path(v);
+}
+
+std::uint64_t LoadTree::subtree_max(NodeId v) const {
+  PARTREE_ASSERT(topo_.valid(v), "subtree_max of invalid node");
+  std::uint64_t prefix = 0;
+  for (NodeId u = Topology::parent(v); u >= 1; u = Topology::parent(u)) {
+    prefix += add_[u];
+    if (u == 1) break;
+  }
+  return prefix + down_[v];
+}
+
+std::uint64_t LoadTree::pe_load(PeId pe) const {
+  NodeId v = topo_.leaf_node(pe);
+  std::uint64_t load = 0;
+  while (true) {
+    load += add_[v];
+    if (v == 1) break;
+    v = Topology::parent(v);
+  }
+  return load;
+}
+
+std::vector<std::uint64_t> LoadTree::pe_loads() const {
+  // One DFS carrying the ancestor add-sum; O(N) total.
+  std::vector<std::uint64_t> loads(topo_.n_leaves(), 0);
+  struct Frame {
+    NodeId node;
+    std::uint64_t prefix;
+  };
+  std::vector<Frame> stack{{Topology::root(), 0}};
+  while (!stack.empty()) {
+    const auto [v, prefix] = stack.back();
+    stack.pop_back();
+    const std::uint64_t here = prefix + add_[v];
+    if (topo_.is_leaf(v)) {
+      loads[v - topo_.n_leaves()] = here;
+    } else {
+      stack.push_back({Topology::right(v), here});
+      stack.push_back({Topology::left(v), here});
+    }
+  }
+  return loads;
+}
+
+NodeId LoadTree::min_load_node(std::uint64_t size) const {
+  const std::uint32_t target_depth = topo_.depth_for_size(size);
+  NodeId best = kInvalidNode;
+  std::uint64_t best_load = UINT64_MAX;
+
+  // DFS, left child first so ties resolve to the leftmost submachine.
+  // Prune: the max load of any target-level node below v is at least the
+  // add-sum of its ancestors (prefix), so subtrees with prefix >= best
+  // cannot improve on an already-found candidate.
+  struct Frame {
+    NodeId node;
+    std::uint64_t prefix;
+  };
+  std::vector<Frame> stack{{Topology::root(), 0}};
+  while (!stack.empty()) {
+    const auto [v, prefix] = stack.back();
+    stack.pop_back();
+    const std::uint64_t here = prefix + add_[v];
+    if (topo_.depth(v) == target_depth) {
+      // Max PE load inside v: ancestor add-sum plus the subtree aggregate.
+      const std::uint64_t value = prefix + down_[v];
+      if (value < best_load) {
+        best_load = value;
+        best = v;
+      }
+      continue;
+    }
+    if (here >= best_load) continue;  // cannot beat the incumbent
+    // Push right first so left is explored first (leftmost tie-break).
+    stack.push_back({Topology::right(v), here});
+    stack.push_back({Topology::left(v), here});
+  }
+  PARTREE_ASSERT(best != kInvalidNode, "min_load_node found no candidate");
+  return best;
+}
+
+void LoadTree::clear() {
+  std::fill(add_.begin(), add_.end(), 0);
+  std::fill(down_.begin(), down_.end(), 0);
+  active_size_ = 0;
+  active_tasks_ = 0;
+}
+
+}  // namespace partree::tree

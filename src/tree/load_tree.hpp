@@ -1,0 +1,82 @@
+// Load accounting over the tree machine.
+//
+// Each active task occupies one whole subtree; the load of a PE is the
+// number of active tasks whose subtree contains it. We therefore store, per
+// node, the number of tasks rooted exactly there (`add`) plus the classic
+// "max of root-to-leaf add-sums below v" aggregate (`down`):
+//
+//   down[v] = add[v] + max(down[left(v)], down[right(v)])      (internal)
+//   down[leaf] = add[leaf]
+//
+// which makes assign/release an O(log N) leaf-to-root path update, gives the
+// machine-wide maximum load as down[root], and the maximum load inside
+// submachine v as prefix(v) + down[v] where prefix sums `add` over strict
+// ancestors. The leftmost minimum-load submachine query (greedy A_G) is an
+// exact DFS over the target level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/topology.hpp"
+
+namespace partree::tree {
+
+class LoadTree {
+ public:
+  explicit LoadTree(Topology topo);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Adds one task rooted at node v. O(log N).
+  void assign(NodeId v);
+
+  /// Removes one task rooted at node v (one must be present). O(log N).
+  void release(NodeId v);
+
+  /// Number of tasks rooted exactly at v.
+  [[nodiscard]] std::uint64_t tasks_rooted_at(NodeId v) const {
+    PARTREE_DEBUG_ASSERT(topo_.valid(v), "invalid node");
+    return add_[v];
+  }
+
+  /// Maximum PE load over the whole machine. O(1).
+  [[nodiscard]] std::uint64_t max_load() const noexcept { return down_[1]; }
+
+  /// Maximum PE load within the submachine of v. O(log N).
+  [[nodiscard]] std::uint64_t subtree_max(NodeId v) const;
+
+  /// Load of a single PE. O(log N).
+  [[nodiscard]] std::uint64_t pe_load(PeId pe) const;
+
+  /// Loads of every PE, left to right. O(N).
+  [[nodiscard]] std::vector<std::uint64_t> pe_loads() const;
+
+  /// Leftmost submachine of the given size whose maximum PE load is
+  /// minimal (the greedy A_G target). Exact; O(N/size) node visits with
+  /// branch-and-bound pruning.
+  [[nodiscard]] NodeId min_load_node(std::uint64_t size) const;
+
+  /// Sum over PEs of their load == total size of active tasks. O(1).
+  [[nodiscard]] std::uint64_t total_active_size() const noexcept {
+    return active_size_;
+  }
+
+  /// Number of active (assigned, unreleased) tasks. O(1).
+  [[nodiscard]] std::uint64_t active_tasks() const noexcept {
+    return active_tasks_;
+  }
+
+  void clear();
+
+ private:
+  void update_path(NodeId v);
+
+  Topology topo_;
+  std::vector<std::uint64_t> add_;
+  std::vector<std::uint64_t> down_;
+  std::uint64_t active_size_ = 0;
+  std::uint64_t active_tasks_ = 0;
+};
+
+}  // namespace partree::tree

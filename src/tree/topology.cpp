@@ -1,0 +1,36 @@
+#include "tree/topology.hpp"
+
+namespace partree::tree {
+
+std::vector<NodeId> Topology::nodes_of_size(std::uint64_t size) const {
+  const std::uint64_t count = count_for_size(size);
+  std::vector<NodeId> nodes;
+  nodes.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) nodes.push_back(count + i);
+  return nodes;
+}
+
+std::uint32_t Topology::hop_distance(NodeId a, NodeId b) const {
+  PARTREE_ASSERT(valid(a) && valid(b), "hop_distance: invalid node");
+  std::uint32_t da = depth(a);
+  std::uint32_t db = depth(b);
+  std::uint32_t hops = 0;
+  while (da > db) {
+    a = parent(a);
+    --da;
+    ++hops;
+  }
+  while (db > da) {
+    b = parent(b);
+    --db;
+    ++hops;
+  }
+  while (a != b) {
+    a = parent(a);
+    b = parent(b);
+    hops += 2;
+  }
+  return hops;
+}
+
+}  // namespace partree::tree

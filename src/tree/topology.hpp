@@ -1,0 +1,136 @@
+// The N-leaf complete-binary-tree machine of the SPAA'96 model.
+//
+// PEs sit at the leaves; internal nodes are switches. A size-2^x submachine
+// is exactly the subtree of one node, so submachines are identified by node
+// ids in the classic heap layout: root = 1, children of v are 2v and 2v+1,
+// leaves occupy [N, 2N). This file is pure index arithmetic; load and
+// occupancy state live in LoadTree / VacancyTree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace partree::tree {
+
+/// Heap index of a tree node (1-based; 0 is an invalid sentinel).
+using NodeId = std::uint64_t;
+
+/// 0-based index of a processing element (a leaf).
+using PeId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+
+/// Index geometry of an N-leaf complete binary tree (N a power of two).
+/// Cheap value type: stores only N and log2(N).
+class Topology {
+ public:
+  /// Constructs an N-leaf machine; N must be a power of two (>= 1).
+  explicit Topology(std::uint64_t n_leaves)
+      : n_leaves_(n_leaves), height_(util::exact_log2(n_leaves)) {
+    PARTREE_ASSERT(n_leaves >= 1, "machine needs at least one PE");
+  }
+
+  [[nodiscard]] std::uint64_t n_leaves() const noexcept { return n_leaves_; }
+  /// log2(N): depth of the leaves; the root has depth 0.
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+  /// Total node count, 2N - 1.
+  [[nodiscard]] std::uint64_t n_nodes() const noexcept {
+    return 2 * n_leaves_ - 1;
+  }
+
+  [[nodiscard]] static constexpr NodeId root() noexcept { return 1; }
+  [[nodiscard]] static constexpr NodeId parent(NodeId v) noexcept {
+    return v >> 1;
+  }
+  [[nodiscard]] static constexpr NodeId left(NodeId v) noexcept {
+    return v << 1;
+  }
+  [[nodiscard]] static constexpr NodeId right(NodeId v) noexcept {
+    return (v << 1) | 1;
+  }
+
+  [[nodiscard]] bool valid(NodeId v) const noexcept {
+    return v >= 1 && v < 2 * n_leaves_;
+  }
+  [[nodiscard]] bool is_leaf(NodeId v) const noexcept {
+    return v >= n_leaves_;
+  }
+
+  /// Depth of node v (root = 0, leaves = height()).
+  [[nodiscard]] std::uint32_t depth(NodeId v) const {
+    PARTREE_DEBUG_ASSERT(valid(v), "depth of invalid node");
+    return util::floor_log2(v);
+  }
+
+  /// Number of leaves in the subtree of v (the submachine size).
+  [[nodiscard]] std::uint64_t subtree_size(NodeId v) const {
+    return n_leaves_ >> depth(v);
+  }
+
+  /// First PE (leaf index) covered by the subtree of v.
+  [[nodiscard]] PeId first_pe(NodeId v) const {
+    const std::uint32_t shift = height_ - depth(v);
+    return (v << shift) - n_leaves_;
+  }
+
+  /// One past the last PE covered by the subtree of v.
+  [[nodiscard]] PeId end_pe(NodeId v) const {
+    return first_pe(v) + subtree_size(v);
+  }
+
+  /// The leaf node holding PE `pe`.
+  [[nodiscard]] NodeId leaf_node(PeId pe) const {
+    PARTREE_DEBUG_ASSERT(pe < n_leaves_, "PE index out of range");
+    return n_leaves_ + pe;
+  }
+
+  /// True iff `anc` is an ancestor of (or equal to) `v`.
+  [[nodiscard]] bool contains(NodeId anc, NodeId v) const {
+    PARTREE_DEBUG_ASSERT(valid(anc) && valid(v), "contains: invalid node");
+    const std::uint32_t da = depth(anc);
+    const std::uint32_t dv = depth(v);
+    return dv >= da && (v >> (dv - da)) == anc;
+  }
+
+  /// Depth at which submachines of the given size live; size must be a
+  /// power of two and <= N.
+  [[nodiscard]] std::uint32_t depth_for_size(std::uint64_t size) const {
+    PARTREE_ASSERT(util::is_pow2(size) && size <= n_leaves_,
+                   "submachine size must be a power of two <= N");
+    return height_ - util::exact_log2(size);
+  }
+
+  /// Number of distinct submachines of the given size: N / size.
+  [[nodiscard]] std::uint64_t count_for_size(std::uint64_t size) const {
+    return n_leaves_ / size;
+  }
+
+  /// The i-th (left-to-right) submachine of the given size.
+  [[nodiscard]] NodeId node_for(std::uint64_t size, std::uint64_t index) const {
+    PARTREE_ASSERT(index < count_for_size(size),
+                   "submachine index out of range");
+    return count_for_size(size) + index;
+  }
+
+  /// Left-to-right rank of node v among nodes of its size.
+  [[nodiscard]] std::uint64_t index_of(NodeId v) const {
+    return v - (NodeId{1} << depth(v));
+  }
+
+  /// All node ids of the given submachine size, left to right.
+  [[nodiscard]] std::vector<NodeId> nodes_of_size(std::uint64_t size) const;
+
+  /// Hop distance between two nodes in the tree (edges on the unique path).
+  [[nodiscard]] std::uint32_t hop_distance(NodeId a, NodeId b) const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+ private:
+  std::uint64_t n_leaves_;
+  std::uint32_t height_;
+};
+
+}  // namespace partree::tree

@@ -1,0 +1,70 @@
+#include "tree/vacancy_tree.hpp"
+
+#include <algorithm>
+
+namespace partree::tree {
+
+VacancyTree::VacancyTree(Topology topo)
+    : topo_(topo),
+      occupied_(topo.n_nodes() + 1, 0),
+      free_(topo.n_nodes() + 1, 0) {
+  // Initially every node's subtree is fully vacant.
+  for (NodeId v = 1; v <= topo_.n_nodes(); ++v) {
+    free_[v] = topo_.subtree_size(v);
+  }
+}
+
+std::uint64_t VacancyTree::recompute(NodeId v) const {
+  if (occupied_[v]) return 0;
+  if (topo_.is_leaf(v)) return 1;
+  const std::uint64_t lhs = free_[Topology::left(v)];
+  const std::uint64_t rhs = free_[Topology::right(v)];
+  const std::uint64_t size = topo_.subtree_size(v);
+  // A fully vacant subtree coalesces into one block of the full size.
+  if (lhs + rhs == size) return size;
+  return std::max(lhs, rhs);
+}
+
+void VacancyTree::update_path(NodeId v) {
+  while (true) {
+    free_[v] = recompute(v);
+    if (v == 1) break;
+    v = Topology::parent(v);
+  }
+}
+
+NodeId VacancyTree::allocate(std::uint64_t size) {
+  PARTREE_ASSERT(util::is_pow2(size) && size <= topo_.n_leaves(),
+                 "allocation size must be a power of two <= N");
+  PARTREE_ASSERT(can_fit(size), "no vacant submachine of requested size");
+  NodeId v = Topology::root();
+  while (topo_.subtree_size(v) > size) {
+    // Leftmost-fit: descend left whenever the left subtree can hold it.
+    const NodeId l = Topology::left(v);
+    v = free_[l] >= size ? l : Topology::right(v);
+    PARTREE_DEBUG_ASSERT(free_[v] >= size, "free aggregate inconsistent");
+  }
+  PARTREE_ASSERT(free_[v] == size, "target block not fully vacant");
+  occupied_[v] = 1;
+  used_ += size;
+  update_path(v);
+  return v;
+}
+
+void VacancyTree::release(NodeId v) {
+  PARTREE_ASSERT(topo_.valid(v), "release of invalid node");
+  PARTREE_ASSERT(occupied_[v], "release of unoccupied node");
+  occupied_[v] = 0;
+  used_ -= topo_.subtree_size(v);
+  update_path(v);
+}
+
+void VacancyTree::clear() {
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  for (NodeId v = 1; v <= topo_.n_nodes(); ++v) {
+    free_[v] = topo_.subtree_size(v);
+  }
+  used_ = 0;
+}
+
+}  // namespace partree::tree

@@ -1,0 +1,65 @@
+// Buddy-style occupancy tracking for one "copy" of the machine.
+//
+// The paper's reallocation procedure A_R and basic algorithm A_B view the
+// machine as a stack of identical copies of T in which every PE belongs to
+// at most one task. A VacancyTree is one such copy: tasks occupy disjoint
+// whole subtrees, and the structure answers "leftmost vacant size-2^x
+// submachine" in O(log N) via a largest-vacant-block aggregate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/topology.hpp"
+
+namespace partree::tree {
+
+class VacancyTree {
+ public:
+  explicit VacancyTree(Topology topo);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Size of the largest fully-vacant aligned submachine. O(1).
+  [[nodiscard]] std::uint64_t max_free() const noexcept { return free_[1]; }
+
+  /// True iff the whole copy is vacant.
+  [[nodiscard]] bool empty() const noexcept {
+    return free_[1] == topo_.n_leaves();
+  }
+
+  /// Cumulative size of occupied PEs in this copy.
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+
+  /// Whether a vacant submachine of the given size exists.
+  [[nodiscard]] bool can_fit(std::uint64_t size) const {
+    PARTREE_DEBUG_ASSERT(util::is_pow2(size), "size must be a power of two");
+    return free_[1] >= size;
+  }
+
+  /// Occupies the leftmost vacant submachine of the given size and returns
+  /// its node; requires can_fit(size). O(log N).
+  NodeId allocate(std::uint64_t size);
+
+  /// Vacates the submachine rooted at v (must be occupied by allocate).
+  void release(NodeId v);
+
+  /// True iff a task is rooted exactly at v.
+  [[nodiscard]] bool occupied(NodeId v) const {
+    PARTREE_DEBUG_ASSERT(topo_.valid(v), "invalid node");
+    return occupied_[v];
+  }
+
+  void clear();
+
+ private:
+  void update_path(NodeId v);
+  [[nodiscard]] std::uint64_t recompute(NodeId v) const;
+
+  Topology topo_;
+  std::vector<std::uint8_t> occupied_;   // task rooted exactly here
+  std::vector<std::uint64_t> free_;      // largest vacant aligned block below
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace partree::tree

@@ -1,0 +1,36 @@
+// Checked assertions for partree.
+//
+// PARTREE_ASSERT is active in all build types: the invariants it guards are
+// cheap relative to the work around them, and a silently-corrupt allocator
+// state would invalidate every measurement downstream. Use
+// PARTREE_DEBUG_ASSERT for checks that are too hot for release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace partree::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "partree assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace partree::util
+
+#define PARTREE_ASSERT(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::partree::util::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)
+
+#ifndef NDEBUG
+#define PARTREE_DEBUG_ASSERT(expr, msg) PARTREE_ASSERT(expr, msg)
+#else
+#define PARTREE_DEBUG_ASSERT(expr, msg) \
+  do {                                  \
+  } while (false)
+#endif

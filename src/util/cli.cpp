@@ -1,0 +1,143 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace partree::util {
+
+Cli& Cli::option(std::string name, std::string help,
+                 std::optional<std::string> default_value) {
+  specs_.emplace(std::move(name),
+                 Spec{std::move(help), std::move(default_value), false});
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, std::string help) {
+  specs_.emplace(std::move(name), Spec{std::move(help), std::nullopt, true});
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   std::string(arg).c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (inline_value) {
+        std::fprintf(stderr, "flag --%s does not take a value\n",
+                     name.c_str());
+        return false;
+      }
+      flag_hits_.push_back(name);
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else if (i + 1 < argc) {
+      values_[name] = argv[++i];
+    } else {
+      std::fprintf(stderr, "option --%s requires a value\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cli::has(std::string_view name) const {
+  if (values_.find(name) != values_.end()) return true;
+  const auto it = specs_.find(name);
+  return it != specs_.end() && it->second.default_value.has_value();
+}
+
+std::string Cli::get(std::string_view name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  const auto spec = specs_.find(name);
+  PARTREE_ASSERT(spec != specs_.end(), "Cli::get of undeclared option");
+  PARTREE_ASSERT(spec->second.default_value.has_value(),
+                 "option has no value and no default");
+  return *spec->second.default_value;
+}
+
+std::uint64_t Cli::get_u64(std::string_view name) const {
+  const std::string raw = get(name);
+  const auto parsed = parse_u64(raw);
+  if (!parsed) {
+    throw std::invalid_argument("option --" + std::string(name) +
+                                " expects an unsigned integer, got '" + raw +
+                                "'");
+  }
+  return *parsed;
+}
+
+double Cli::get_double(std::string_view name) const {
+  const std::string raw = get(name);
+  const auto parsed = parse_double(raw);
+  if (!parsed) {
+    throw std::invalid_argument("option --" + std::string(name) +
+                                " expects a number, got '" + raw + "'");
+  }
+  return *parsed;
+}
+
+bool Cli::get_flag(std::string_view name) const {
+  return std::find(flag_hits_.begin(), flag_hits_.end(), name) !=
+         flag_hits_.end();
+}
+
+std::vector<std::uint64_t> Cli::get_u64_list(std::string_view name) const {
+  std::vector<std::uint64_t> values;
+  for (const auto& field : split(get(name), ',')) {
+    const auto parsed = parse_u64(trim(field));
+    if (!parsed) {
+      throw std::invalid_argument("option --" + std::string(name) +
+                                  " expects a comma-separated integer list");
+    }
+    values.push_back(*parsed);
+  }
+  return values;
+}
+
+std::string Cli::usage(std::string_view program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.is_flag) out << " <value>";
+    out << "\n      " << spec.help;
+    if (spec.default_value) out << " (default: " << *spec.default_value << ')';
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace partree::util

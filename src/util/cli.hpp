@@ -1,0 +1,52 @@
+// Tiny argv parser for the bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms, with
+// typed accessors and an auto-generated usage string. Unknown options are a
+// hard error so typos in sweep scripts do not silently run defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace partree::util {
+
+class Cli {
+ public:
+  /// Declares an option with a help string and optional default.
+  Cli& option(std::string name, std::string help,
+              std::optional<std::string> default_value = std::nullopt);
+  /// Declares a boolean flag (present => true).
+  Cli& flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on error or --help.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::uint64_t get_u64(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+
+  /// Parses a comma-separated list of u64 (e.g. "--sizes 1,2,4").
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_list(
+      std::string_view name) const;
+
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_flag = false;
+  };
+
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> flag_hits_;
+};
+
+}  // namespace partree::util

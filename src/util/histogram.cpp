@@ -1,0 +1,90 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace partree::util {
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  if (value >= bins_.size()) bins_.resize(value + 1, 0);
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const noexcept {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bins_[i] != 0) return i;
+  }
+  return 0;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    weighted += static_cast<double>(v) * static_cast<double>(bins_[v]);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  PARTREE_ASSERT(q >= 0.0 && q <= 1.0, "histogram quantile out of range");
+  PARTREE_ASSERT(total_ > 0, "quantile of empty histogram");
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    cumulative += bins_[v];
+    if (cumulative >= target) return v;
+  }
+  return max_value();
+}
+
+std::string Histogram::render(std::size_t max_rows,
+                              std::size_t bar_width) const {
+  std::ostringstream out;
+  const std::uint64_t top = max_value();
+  const std::size_t rows = std::min<std::size_t>(top + 1, max_rows);
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : bins_) peak = std::max(peak, c);
+  for (std::size_t v = 0; v < rows; ++v) {
+    const std::uint64_t c = count(v);
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(c) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out << "load " << v << " | " << std::string(width, '#') << ' ' << c
+        << '\n';
+  }
+  if (top + 1 > rows) {
+    out << "... (" << (top + 1 - rows) << " more bins up to load " << top
+        << ")\n";
+  }
+  return out.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t v = 0; v < other.bins_.size(); ++v) {
+    bins_[v] += other.bins_[v];
+  }
+  total_ += other.total_;
+}
+
+void Histogram::clear() noexcept {
+  bins_.clear();
+  total_ = 0;
+}
+
+Histogram histogram_of(std::span<const std::uint64_t> values) {
+  Histogram h;
+  for (std::uint64_t v : values) h.add(v);
+  return h;
+}
+
+}  // namespace partree::util

@@ -1,0 +1,46 @@
+// Integer histograms for per-PE load distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace partree::util {
+
+/// Dense histogram over nonnegative integer values (e.g. PE loads).
+/// Bins grow on demand; value v lands in bin v.
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Count in bin `value` (0 if beyond the populated range).
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Largest value with nonzero count; 0 for an empty histogram.
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest v such that at least q * total() observations are <= v.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> bins() const noexcept {
+    return bins_;
+  }
+
+  /// Multi-line ASCII bar rendering, capped at `max_rows` rows.
+  [[nodiscard]] std::string render(std::size_t max_rows = 20,
+                                   std::size_t bar_width = 40) const;
+
+  void merge(const Histogram& other);
+  void clear() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Builds a histogram of a load vector in one pass.
+[[nodiscard]] Histogram histogram_of(std::span<const std::uint64_t> values);
+
+}  // namespace partree::util

@@ -1,0 +1,54 @@
+#include "util/math.hpp"
+
+#include <cmath>
+
+namespace partree::util {
+
+std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    PARTREE_DEBUG_ASSERT(base == 0 || result <= UINT64_MAX / (base ? base : 1),
+                         "ipow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+std::uint64_t det_upper_factor(std::uint64_t n_pes, std::uint64_t d,
+                               bool d_infinite) {
+  PARTREE_ASSERT(is_pow2(n_pes), "N must be a power of two");
+  const std::uint64_t log_n = exact_log2(n_pes);
+  const std::uint64_t greedy = ceil_div(log_n + 1, 2);
+  if (d_infinite) return greedy;
+  return std::min(d + 1, greedy);
+}
+
+std::uint64_t det_lower_factor(std::uint64_t n_pes, std::uint64_t d,
+                               bool d_infinite) {
+  PARTREE_ASSERT(is_pow2(n_pes), "N must be a power of two");
+  const std::uint64_t log_n = exact_log2(n_pes);
+  const std::uint64_t p = d_infinite ? log_n : std::min(d, log_n);
+  return ceil_div(p + 1, 2);
+}
+
+double rand_upper_factor(std::uint64_t n_pes) {
+  PARTREE_ASSERT(n_pes >= 4, "randomized bounds need N >= 4");
+  const double log_n = std::log2(static_cast<double>(n_pes));
+  return 3.0 * log_n / std::log2(log_n) + 1.0;
+}
+
+double hoeffding_tail(double mu, std::uint64_t m) {
+  PARTREE_ASSERT(mu >= 0.0, "hoeffding_tail: mean must be nonnegative");
+  const auto md = static_cast<double>(m);
+  if (md < mu + 1.0) return 1.0;
+  if (mu == 0.0) return 0.0;
+  return std::pow(mu * 2.718281828459045 / md, md);
+}
+
+double rand_lower_factor(std::uint64_t n_pes) {
+  PARTREE_ASSERT(n_pes >= 4, "randomized bounds need N >= 4");
+  const double log_n = std::log2(static_cast<double>(n_pes));
+  return std::cbrt(log_n / std::log2(log_n)) / 7.0;
+}
+
+}  // namespace partree::util

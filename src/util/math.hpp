@@ -1,0 +1,84 @@
+// Integer and power-of-two helpers used throughout partree.
+//
+// Task sizes and machine sizes in the SPAA'96 model are powers of two, so
+// exact integer log/ceil arithmetic appears everywhere; keeping it here (and
+// tested once) avoids scattered ad-hoc bit tricks.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace partree::util {
+
+/// True iff `x` is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x > 0.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  PARTREE_ASSERT(x > 0, "floor_log2(0) undefined");
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x > 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  PARTREE_ASSERT(x > 0, "ceil_log2(0) undefined");
+  return is_pow2(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// Exact log2 of a power of two.
+[[nodiscard]] constexpr std::uint32_t exact_log2(std::uint64_t x) {
+  PARTREE_ASSERT(is_pow2(x), "exact_log2 requires a power of two");
+  return floor_log2(x);
+}
+
+/// ceil(a / b) for nonnegative integers; requires b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) {
+  PARTREE_ASSERT(b > 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// Largest power of two that is <= x; requires x > 0.
+[[nodiscard]] constexpr std::uint64_t pow2_floor(std::uint64_t x) {
+  return std::uint64_t{1} << floor_log2(x);
+}
+
+/// Smallest power of two that is >= x; requires x > 0.
+[[nodiscard]] constexpr std::uint64_t pow2_ceil(std::uint64_t x) {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Integer power base^exp with overflow assertion (debug builds).
+[[nodiscard]] std::uint64_t ipow(std::uint64_t base, std::uint32_t exp);
+
+/// The paper's deterministic upper-bound factor for Algorithm A_M:
+/// min{ d+1, ceil((log N + 1)/2) }.  `d_infinite` selects d = infinity.
+[[nodiscard]] std::uint64_t det_upper_factor(std::uint64_t n_pes,
+                                             std::uint64_t d,
+                                             bool d_infinite = false);
+
+/// The paper's deterministic lower-bound factor (Theorem 4.3):
+/// ceil((min{d, log N} + 1)/2).
+[[nodiscard]] std::uint64_t det_lower_factor(std::uint64_t n_pes,
+                                             std::uint64_t d,
+                                             bool d_infinite = false);
+
+/// The paper's randomized upper-bound factor (Theorem 5.1):
+/// 3 log N / log log N + 1.  Returns a double; N must be >= 4.
+[[nodiscard]] double rand_upper_factor(std::uint64_t n_pes);
+
+/// The paper's randomized lower-bound factor (Theorem 5.2):
+/// (1/7) (log N / log log N)^(1/3).  N must be >= 4.
+[[nodiscard]] double rand_lower_factor(std::uint64_t n_pes);
+
+/// Hoeffding's tail bound (the paper's Lemma 4): for independent Bernoulli
+/// trials with mean mu and integer m >= mu + 1, the probability of at
+/// least m successes is at most (mu * e / m)^m. Returns 1.0 when the
+/// precondition m >= mu + 1 fails (the bound is vacuous there).
+[[nodiscard]] double hoeffding_tail(double mu, std::uint64_t m);
+
+}  // namespace partree::util

@@ -1,0 +1,121 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace partree::util {
+
+namespace {
+
+struct Bounds {
+  double lo;
+  double hi;
+};
+
+Bounds series_bounds(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    bool zero_based) {
+  double lo = zero_based ? 0.0 : std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, ys] : series) {
+    for (const double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (!std::isfinite(lo)) lo = 0.0;
+  if (!std::isfinite(hi)) hi = 1.0;
+  if (hi <= lo) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+void render_series(std::vector<std::string>& canvas, std::size_t width,
+                   std::size_t height, const Bounds& bounds,
+                   std::span<const double> ys, char marker) {
+  if (ys.empty()) return;
+  for (std::size_t col = 0; col < width; ++col) {
+    // Map the column back to a series index (nearest sample).
+    const std::size_t idx =
+        ys.size() == 1
+            ? 0
+            : static_cast<std::size_t>(std::llround(
+                  static_cast<double>(col) *
+                  static_cast<double>(ys.size() - 1) /
+                  static_cast<double>(width - 1)));
+    const double y = ys[idx];
+    const double t = (y - bounds.lo) / (bounds.hi - bounds.lo);
+    const auto row_from_bottom = static_cast<std::size_t>(std::llround(
+        t * static_cast<double>(height - 1)));
+    const std::size_t row = height - 1 - std::min(row_from_bottom, height - 1);
+    canvas[row][col] = marker;
+  }
+}
+
+std::string assemble(const std::vector<std::string>& canvas,
+                     const Bounds& bounds, std::size_t height) {
+  std::ostringstream out;
+  for (std::size_t row = 0; row < height; ++row) {
+    const double t =
+        static_cast<double>(height - 1 - row) / static_cast<double>(height - 1);
+    const double label = bounds.lo + t * (bounds.hi - bounds.lo);
+    std::string tag = format_double(label, 2);
+    if (tag.size() < 8) tag = std::string(8 - tag.size(), ' ') + tag;
+    out << tag << " | " << canvas[row] << '\n';
+  }
+  out << std::string(8, ' ') << " +" << std::string(canvas[0].size(), '-')
+      << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string line_plot(std::span<const double> ys, const PlotOptions& options) {
+  PARTREE_ASSERT(options.width >= 2 && options.height >= 2,
+                 "plot too small");
+  std::vector<std::pair<std::string, std::vector<double>>> one{
+      {"", std::vector<double>(ys.begin(), ys.end())}};
+  const Bounds bounds = series_bounds(one, options.zero_based);
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  render_series(canvas, options.width, options.height, bounds, ys,
+                options.marker);
+  return assemble(canvas, bounds, options.height);
+}
+
+std::string multi_plot(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const PlotOptions& options) {
+  PARTREE_ASSERT(options.width >= 2 && options.height >= 2,
+                 "plot too small");
+  const Bounds bounds = series_bounds(series, options.zero_based);
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  // Draw in reverse so the first (primary) series stays on top where
+  // series coincide.
+  for (std::size_t s = series.size(); s-- > 0;) {
+    const char marker =
+        s == 0 ? options.marker : static_cast<char>('a' + (s - 1) % 26);
+    render_series(canvas, options.width, options.height, bounds,
+                  series[s].second, marker);
+  }
+  std::ostringstream legend;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char marker =
+        s == 0 ? options.marker : static_cast<char>('a' + (s - 1) % 26);
+    if (!series[s].first.empty()) {
+      legend << (s ? "  " : "") << marker << " = " << series[s].first;
+    }
+  }
+  std::string text = assemble(canvas, bounds, options.height);
+  const std::string legend_line = legend.str();
+  if (!legend_line.empty()) {
+    text += std::string(10, ' ') + legend_line + '\n';
+  }
+  return text;
+}
+
+}  // namespace partree::util

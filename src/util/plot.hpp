@@ -1,0 +1,32 @@
+// Terminal line plots for benchmark output.
+//
+// Renders a numeric series as an ASCII chart so the trade-off curves are
+// visible directly in bench output without external tooling.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace partree::util {
+
+struct PlotOptions {
+  std::size_t width = 60;   ///< plot columns (excluding the y-axis gutter)
+  std::size_t height = 12;  ///< plot rows
+  char marker = '*';
+  /// If set, the y-axis starts at 0 instead of the series minimum.
+  bool zero_based = true;
+};
+
+/// Single-series plot; x is the index (scaled to width).
+[[nodiscard]] std::string line_plot(std::span<const double> ys,
+                                    const PlotOptions& options = {});
+
+/// Multi-series plot; each series gets its own marker ('a', 'b', ...,
+/// overridden by options.marker for the first). Series may have different
+/// lengths; each is scaled to the full width. A legend line is appended.
+[[nodiscard]] std::string multi_plot(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const PlotOptions& options = {});
+
+}  // namespace partree::util

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace partree::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  PARTREE_DEBUG_ASSERT(bound > 0, "Rng::below(0)");
+  // Lemire's nearly-divisionless method, 64-bit variant.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  PARTREE_DEBUG_ASSERT(mean > 0.0, "exponential mean must be positive");
+  // -mean * ln(U) with U in (0,1]; flip to avoid log(0).
+  const double u = 1.0 - uniform01();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double alpha, double x_min) noexcept {
+  PARTREE_DEBUG_ASSERT(alpha > 0.0 && x_min > 0.0, "pareto parameters");
+  const double u = 1.0 - uniform01();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  PARTREE_DEBUG_ASSERT(lambda >= 0.0, "poisson rate must be nonnegative");
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double threshold = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double product = uniform01();
+    while (product > threshold) {
+      ++k;
+      product *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation, adequate for workload generation at high rates.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double value = lambda + std::sqrt(lambda) * z;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(value));
+}
+
+}  // namespace partree::util

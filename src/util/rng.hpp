@@ -1,0 +1,97 @@
+// Deterministic, splittable pseudo-random generation.
+//
+// Benchmarks and randomized-algorithm trials must be reproducible from a
+// single seed, and parallel sweep workers must not share generator state.
+// We use xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded
+// via SplitMix64, which gives high-quality streams and O(1) "split" for
+// per-worker generators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace partree::util {
+
+/// SplitMix64 step: used for seeding and cheap stateless mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed'0000'c0ffee42ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; lo <= hi.
+  [[nodiscard]] std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    PARTREE_DEBUG_ASSERT(lo <= hi, "Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Pareto variate with shape alpha (> 0) and scale x_min (> 0).
+  [[nodiscard]] double pareto(double alpha, double x_min) noexcept;
+
+  /// Poisson variate with the given rate lambda (>= 0); Knuth's method for
+  /// small lambda, normal approximation above 64.
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+
+  /// Returns an independently-seeded generator derived from this one.
+  /// Advances this generator's state.
+  [[nodiscard]] Rng split() noexcept {
+    std::uint64_t sm = (*this)();
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace partree::util

@@ -1,0 +1,57 @@
+// Streaming and batch statistics for simulation results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace partree::util {
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+/// Numerically stable for long benchmark runs; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel-sweep reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: mean/stddev/min/max and selected quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary by copying and partially sorting `sample`.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolation quantile of an already-sorted sample, q in [0,1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace partree::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by CSV/CLI/report code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace partree::util {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Parses a nonnegative integer; nullopt on any malformed input.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// Parses a double; nullopt on any malformed input.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+[[nodiscard]] std::string format_double(double value, int digits = 3);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+}  // namespace partree::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/str.hpp"
+
+namespace partree::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PARTREE_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PARTREE_ASSERT(cells.size() == header_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::stringify(double v) { return format_double(v, 3); }
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  return parse_double(cell).has_value();
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title.empty()) out << title << '\n';
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c != 0) out << "  ";
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.row(header_);
+  for (const auto& row : rows_) writer.row(row);
+}
+
+}  // namespace partree::util

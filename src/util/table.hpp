@@ -1,0 +1,54 @@
+// Fixed-width console table rendering for benchmark/report output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace partree::util {
+
+/// Column-aligned ASCII table. Collect rows, then print once; column widths
+/// are computed from content. Numeric-looking cells are right-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: variadic row of stringifiable values.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(stringify(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Renders with a header rule; `title` (if nonempty) printed above.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Emits the same content as CSV rows (header first).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  static std::string stringify(const std::string& s) { return s; }
+  static std::string stringify(const char* s) { return s; }
+  static std::string stringify(double v);
+  static std::string stringify(bool v) { return v ? "yes" : "no"; }
+  template <typename T>
+  static std::string stringify(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace partree::util

@@ -1,0 +1,75 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/str.hpp"
+
+namespace partree::workload {
+
+void write_trace(const core::TaskSequence& sequence, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.row({"kind", "id", "size"});
+  for (const core::Event& e : sequence.events()) {
+    if (e.kind == core::EventKind::kArrival) {
+      writer.row({"arrive", std::to_string(e.task.id),
+                  std::to_string(e.task.size)});
+    } else {
+      writer.row({"depart", std::to_string(e.task.id), ""});
+    }
+  }
+}
+
+void write_trace_file(const core::TaskSequence& sequence,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace(sequence, out);
+}
+
+core::TaskSequence read_trace(std::istream& in) {
+  const auto rows = util::read_csv(in);
+  if (rows.empty()) return core::TaskSequence{};
+  std::vector<core::Event> events;
+  // Skip the header if present.
+  std::size_t first = rows[0].size() >= 1 && rows[0][0] == "kind" ? 1 : 0;
+  for (std::size_t r = first; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 2) {
+      throw std::runtime_error("trace row " + std::to_string(r) +
+                               ": expected at least 2 fields");
+    }
+    const auto id = util::parse_u64(row[1]);
+    if (!id) {
+      throw std::runtime_error("trace row " + std::to_string(r) +
+                               ": bad task id '" + row[1] + "'");
+    }
+    if (row[0] == "arrive") {
+      if (row.size() < 3) {
+        throw std::runtime_error("trace row " + std::to_string(r) +
+                                 ": arrival missing size");
+      }
+      const auto size = util::parse_u64(row[2]);
+      if (!size || *size == 0) {
+        throw std::runtime_error("trace row " + std::to_string(r) +
+                                 ": bad size '" + row[2] + "'");
+      }
+      events.push_back(core::Event::arrival(*id, *size));
+    } else if (row[0] == "depart") {
+      events.push_back(core::Event::departure(*id));
+    } else {
+      throw std::runtime_error("trace row " + std::to_string(r) +
+                               ": unknown kind '" + row[0] + "'");
+    }
+  }
+  return core::TaskSequence(std::move(events));
+}
+
+core::TaskSequence read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace partree::workload

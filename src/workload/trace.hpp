@@ -1,0 +1,30 @@
+// CSV trace I/O: persist task sequences and replay them later.
+//
+// Format (header row included):
+//   kind,id,size
+//   arrive,0,4
+//   depart,0,
+// Departure rows leave size empty (it is redundant).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/sequence.hpp"
+
+namespace partree::workload {
+
+/// Writes the sequence as CSV.
+void write_trace(const core::TaskSequence& sequence, std::ostream& out);
+
+/// Writes to a file; throws std::runtime_error if it cannot be opened.
+void write_trace_file(const core::TaskSequence& sequence,
+                      const std::string& path);
+
+/// Parses a trace; throws std::runtime_error on malformed input.
+[[nodiscard]] core::TaskSequence read_trace(std::istream& in);
+
+/// Reads from a file; throws std::runtime_error if it cannot be opened.
+[[nodiscard]] core::TaskSequence read_trace_file(const std::string& path);
+
+}  // namespace partree::workload

@@ -1,0 +1,99 @@
+#include "adversary/rand_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+
+namespace partree::adversary {
+namespace {
+
+TEST(RandSequenceTest, PhaseCountFormula) {
+  // N = 2^16: log N = 16, log log N = 4 -> floor(16/8) = 2 phases.
+  EXPECT_EQ(random_lb_phases(std::uint64_t{1} << 16), 2u);
+  // N = 2^8: floor(8/6) = 1.
+  EXPECT_EQ(random_lb_phases(256), 1u);
+  // Tiny machines still get one phase.
+  EXPECT_EQ(random_lb_phases(4), 1u);
+}
+
+TEST(RandSequenceTest, SequencesAreValid) {
+  const tree::Topology topo(std::uint64_t{1} << 12);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const core::TaskSequence seq = random_lb_sequence(topo, rng);
+    EXPECT_EQ(seq.validate(topo.n_leaves()), "") << "trial " << trial;
+    EXPECT_GT(seq.arrival_count(), 0u);
+  }
+}
+
+TEST(RandSequenceTest, Lemma5PeakUsuallyWithinN) {
+  // With high probability s(sigma_r) <= N; check it holds for most draws.
+  const tree::Topology topo(std::uint64_t{1} << 12);
+  util::Rng rng(7);
+  int within = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const core::TaskSequence seq = random_lb_sequence(topo, rng);
+    if (seq.peak_active_size() <= topo.n_leaves()) ++within;
+  }
+  EXPECT_GE(within, kTrials - 2);
+}
+
+TEST(RandSequenceTest, StatsAreConsistent) {
+  const tree::Topology topo(std::uint64_t{1} << 10);
+  util::Rng rng(11);
+  RandSequenceStats stats;
+  const core::TaskSequence seq = random_lb_sequence(topo, rng, &stats);
+  EXPECT_EQ(stats.arrivals, seq.arrival_count());
+  EXPECT_EQ(seq.size(), 2 * stats.arrivals - stats.survivors);
+  EXPECT_GE(stats.phases, 1u);
+}
+
+TEST(RandSequenceTest, Phase0CountMatchesConstruction) {
+  // Phase 0: N/3 tasks of size 1 arrive first.
+  const tree::Topology topo(std::uint64_t{1} << 10);
+  util::Rng rng(13);
+  const core::TaskSequence seq = random_lb_sequence(topo, rng);
+  const std::uint64_t phase0 = topo.n_leaves() / 3;
+  ASSERT_GE(seq.size(), phase0);
+  for (std::uint64_t i = 0; i < phase0; ++i) {
+    EXPECT_EQ(seq[i].kind, core::EventKind::kArrival);
+    EXPECT_EQ(seq[i].task.size, 1u);
+  }
+}
+
+TEST(RandSequenceTest, ExactSizesWhenLogNIsPow2) {
+  // N = 2^16: phase sizes are 1 and 16 exactly (log N = 16 is 2^4).
+  const tree::Topology topo(std::uint64_t{1} << 16);
+  util::Rng rng(17);
+  const core::TaskSequence seq = random_lb_sequence(topo, rng);
+  for (const core::Event& e : seq.events()) {
+    if (e.kind != core::EventKind::kArrival) continue;
+    EXPECT_TRUE(e.task.size == 1 || e.task.size == 16)
+        << "unexpected size " << e.task.size;
+  }
+}
+
+TEST(RandSequenceTest, HurtsObliviousAllocators) {
+  // sigma_r drives every no-reallocation algorithm above optimal; verify
+  // the shape (load strictly above L* on average) for the oblivious
+  // randomized allocator.
+  const tree::Topology topo(std::uint64_t{1} << 12);
+  util::Rng rng(19);
+  double total_ratio = 0.0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const core::TaskSequence seq = random_lb_sequence(topo, rng);
+    auto alloc =
+        core::make_allocator("random", topo, 100 + static_cast<std::uint64_t>(trial));
+    sim::Engine engine(topo);
+    const auto result = engine.run(seq, *alloc);
+    total_ratio += result.ratio();
+  }
+  EXPECT_GT(total_ratio / kTrials, 1.5);
+}
+
+}  // namespace
+}  // namespace partree::adversary

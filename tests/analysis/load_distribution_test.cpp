@@ -1,0 +1,118 @@
+#include "analysis/load_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/randomized.hpp"
+#include "core/machine_state.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace partree::analysis {
+namespace {
+
+TEST(PoissonBinomialTest, EmptyIsPointMassAtZero) {
+  const auto pmf = poisson_binomial_pmf({});
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(PoissonBinomialTest, SingleBernoulli) {
+  const std::vector<double> p{0.3};
+  const auto pmf = poisson_binomial_pmf(p);
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf[0], 0.7, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.3, 1e-12);
+}
+
+TEST(PoissonBinomialTest, BinomialSpecialCase) {
+  // Four fair coins: binomial(4, 1/2) = {1,4,6,4,1}/16.
+  const std::vector<double> p(4, 0.5);
+  const auto pmf = poisson_binomial_pmf(p);
+  ASSERT_EQ(pmf.size(), 5u);
+  const double expected[] = {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16,
+                             1.0 / 16};
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(pmf[k], expected[k], 1e-12) << k;
+  }
+}
+
+TEST(PoissonBinomialTest, HeterogeneousProbabilities) {
+  const std::vector<double> p{0.1, 0.9};
+  const auto pmf = poisson_binomial_pmf(p);
+  EXPECT_NEAR(pmf[0], 0.9 * 0.1, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.1 * 0.1 + 0.9 * 0.9, 1e-12);
+  EXPECT_NEAR(pmf[2], 0.1 * 0.9, 1e-12);
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  util::Rng rng(3);
+  std::vector<double> p;
+  for (int i = 0; i < 200; ++i) p.push_back(rng.uniform01());
+  const auto pmf = poisson_binomial_pmf(p);
+  const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TailTest, TailAtLeast) {
+  const std::vector<double> pmf{0.5, 0.3, 0.2};
+  EXPECT_NEAR(tail_at_least(pmf, 0), 1.0, 1e-12);
+  EXPECT_NEAR(tail_at_least(pmf, 1), 0.5, 1e-12);
+  EXPECT_NEAR(tail_at_least(pmf, 2), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(tail_at_least(pmf, 3), 0.0);
+}
+
+TEST(PeLoadTest, MeanMatchesSizes) {
+  const std::vector<std::uint64_t> sizes{4, 8, 16};
+  EXPECT_NEAR(pe_load_mean(sizes, 16), 0.25 + 0.5 + 1.0, 1e-12);
+}
+
+TEST(PeLoadTest, FullMachineTaskAlwaysCounts) {
+  const std::vector<std::uint64_t> sizes{16};
+  EXPECT_NEAR(pe_load_tail(sizes, 16, 1), 1.0, 1e-12);
+  EXPECT_NEAR(pe_load_tail(sizes, 16, 2), 0.0, 1e-12);
+}
+
+TEST(PeLoadTest, ExactTailBelowHoeffding) {
+  // Lemma 4 dominates the exact tail wherever it applies (m >= mu + 1).
+  const std::vector<std::uint64_t> sizes(64, 1);  // 64 unit tasks
+  const std::uint64_t n = 64;
+  const double mu = pe_load_mean(sizes, n);
+  for (std::uint64_t m = 2; m <= 8; ++m) {
+    const double exact = pe_load_tail(sizes, n, m);
+    const double bound = util::hoeffding_tail(mu, m);
+    EXPECT_LE(exact, bound + 1e-12) << "m=" << m;
+  }
+}
+
+TEST(PeLoadTest, ExactTailMatchesSimulation) {
+  // Monte Carlo cross-check of the analytic pmf on a mixed task set.
+  const tree::Topology topo(32);
+  const std::vector<std::uint64_t> sizes{1, 1, 2, 4, 4, 8, 16};
+  constexpr int kTrials = 20000;
+  int hits = 0;
+  util::Rng seed_rng(5);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    core::MachineState state(topo);
+    core::RandomizedAllocator alloc(topo, seed_rng());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const core::Task task{i, sizes[i]};
+      state.place(task, alloc.place(task, state));
+    }
+    if (state.loads().pe_load(0) >= 2) ++hits;
+  }
+  const double empirical = static_cast<double>(hits) / kTrials;
+  const double exact = pe_load_tail(sizes, 32, 2);
+  EXPECT_NEAR(empirical, exact, 0.01);
+}
+
+TEST(MaxLoadTest, UnionBoundCapsAtOne) {
+  const std::vector<std::uint64_t> sizes(128, 1);
+  EXPECT_DOUBLE_EQ(max_load_tail_union(sizes, 128, 1), 1.0);
+  EXPECT_LT(max_load_tail_union(sizes, 128, 10), 1.0);
+}
+
+}  // namespace
+}  // namespace partree::analysis

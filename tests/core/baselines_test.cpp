@@ -1,0 +1,131 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/randomized.hpp"
+
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::core {
+namespace {
+
+TEST(LeftmostTest, AlwaysPicksFirstSubmachine) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  LeftmostAllocator alloc(topo);
+  EXPECT_EQ(alloc.place({0, 1}, state), 8u);
+  EXPECT_EQ(alloc.place({1, 2}, state), 4u);
+  EXPECT_EQ(alloc.place({2, 4}, state), 2u);
+  EXPECT_EQ(alloc.place({3, 8}, state), 1u);
+  // Repeats stack on the same node regardless of load.
+  EXPECT_EQ(alloc.place({4, 1}, state), 8u);
+}
+
+TEST(LeftmostTest, StacksLoadBadly) {
+  const tree::Topology topo(8);
+  sim::Engine engine(topo);
+  TaskSequence seq;
+  for (int i = 0; i < 8; ++i) (void)seq.arrive(1);
+  LeftmostAllocator alloc(topo);
+  const auto result = engine.run(seq, alloc);
+  EXPECT_EQ(result.max_load, 8u);  // everything on PE 0
+  EXPECT_EQ(result.optimal_load, 1u);
+}
+
+TEST(RoundRobinTest, CyclesThroughSubmachines) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  RoundRobinAllocator alloc(topo);
+  EXPECT_EQ(alloc.place({0, 2}, state), 4u);
+  EXPECT_EQ(alloc.place({1, 2}, state), 5u);
+  EXPECT_EQ(alloc.place({2, 2}, state), 6u);
+  EXPECT_EQ(alloc.place({3, 2}, state), 7u);
+  EXPECT_EQ(alloc.place({4, 2}, state), 4u);  // wraps
+}
+
+TEST(RoundRobinTest, IndependentCursorsPerSize) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  RoundRobinAllocator alloc(topo);
+  EXPECT_EQ(alloc.place({0, 2}, state), 4u);
+  EXPECT_EQ(alloc.place({1, 4}, state), 2u);
+  EXPECT_EQ(alloc.place({2, 2}, state), 5u);
+  EXPECT_EQ(alloc.place({3, 4}, state), 3u);
+}
+
+TEST(RoundRobinTest, PerfectBalanceOnUniformTasks) {
+  const tree::Topology topo(16);
+  sim::Engine engine(topo);
+  TaskSequence seq;
+  for (int i = 0; i < 16; ++i) (void)seq.arrive(1);
+  RoundRobinAllocator alloc(topo);
+  const auto result = engine.run(seq, alloc);
+  EXPECT_EQ(result.max_load, 1u);
+}
+
+TEST(RoundRobinTest, ResetRestartsCursors) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  RoundRobinAllocator alloc(topo);
+  (void)alloc.place({0, 2}, state);
+  alloc.reset();
+  EXPECT_EQ(alloc.place({1, 2}, state), 4u);
+}
+
+TEST(DChoicesTest, RespectsTaskSize) {
+  const tree::Topology topo(16);
+  MachineState state{topo};
+  DChoicesAllocator alloc(topo, 2, 3);
+  for (TaskId id = 0; id < 100; ++id) {
+    const std::uint64_t size = std::uint64_t{1} << (id % 5);
+    const tree::NodeId node = alloc.place({id, size}, state);
+    ASSERT_EQ(topo.subtree_size(node), size);
+  }
+}
+
+TEST(DChoicesTest, PrefersLessLoadedCandidate) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  // Load the left half heavily.
+  state.place({100, 2}, 2);
+  state.place({101, 2}, 2);
+  state.place({102, 2}, 2);
+  DChoicesAllocator alloc(topo, 4, 7);  // 4 draws almost surely see both
+  int right_picks = 0;
+  for (TaskId id = 0; id < 50; ++id) {
+    if (alloc.place({id, 2}, state) == 3u) ++right_picks;
+  }
+  EXPECT_GE(right_picks, 45);
+}
+
+TEST(DChoicesTest, BeatsObliviousRandomOnAverage) {
+  const tree::Topology topo(64);
+  util::Rng rng(11);
+  workload::ClosedLoopParams params;
+  params.n_events = 1500;
+  params.utilization = 0.9;
+  params.size = workload::SizeSpec::fixed_size(1);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  double random_total = 0;
+  double choices_total = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomizedAllocator random(topo, seed);
+    DChoicesAllocator choices(topo, 2, seed);
+    random_total += static_cast<double>(engine.run(seq, random).max_load);
+    choices_total += static_cast<double>(engine.run(seq, choices).max_load);
+  }
+  EXPECT_LE(choices_total, random_total);
+}
+
+TEST(DChoicesTest, Name) {
+  const tree::Topology topo(4);
+  EXPECT_EQ(DChoicesAllocator(topo, 3, 1).name(), "dchoice(k=3)");
+}
+
+}  // namespace
+}  // namespace partree::core

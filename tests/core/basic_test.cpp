@@ -1,0 +1,149 @@
+#include "core/basic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::core {
+namespace {
+
+TEST(BasicTest, FirstFitWithinCopy) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  BasicAllocator basic(topo);
+  EXPECT_EQ(basic.place({0, 2}, state), 2u);
+  state.place({0, 2}, 2);
+  EXPECT_EQ(basic.place({1, 2}, state), 3u);
+  state.place({1, 2}, 3);
+  // Copy 0 full; a new copy starts at the leftmost block again.
+  EXPECT_EQ(basic.place({2, 2}, state), 2u);
+  EXPECT_EQ(basic.copy_count(), 2u);
+}
+
+TEST(BasicTest, DepartureFreesCopySpace) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  BasicAllocator basic(topo);
+  state.place({0, 4}, basic.place({0, 4}, state));
+  basic.on_departure(0, state);
+  state.remove(0);
+  EXPECT_EQ(basic.copy_count(), 0u);
+  // Space is reusable immediately.
+  EXPECT_EQ(basic.place({1, 4}, state), 1u);
+}
+
+TEST(BasicTest, Lemma2TotalArrivalBound) {
+  // Load of A_B <= ceil(S/N) where S is the TOTAL size of all arrivals
+  // (even with interleaved departures).
+  const tree::Topology topo(16);
+  util::Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    workload::ClosedLoopParams params;
+    params.n_events = 400;
+    params.utilization = 0.9;
+    params.size = workload::SizeSpec::uniform_log(0, 4);
+    const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+    sim::Engine engine(topo);
+    BasicAllocator basic(topo);
+    const auto result = engine.run(seq, basic);
+    EXPECT_LE(result.max_load,
+              util::ceil_div(seq.total_arrival_size(), topo.n_leaves()))
+        << "trial " << trial;
+  }
+}
+
+TEST(BasicTest, CopyCountUpperBoundsMachineLoad) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  BasicAllocator basic(topo);
+  util::Rng rng(31);
+  std::vector<TaskId> active;
+  TaskId next = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (active.empty() || rng.bernoulli(0.6)) {
+      const Task t{next++, std::uint64_t{1} << rng.below(4)};
+      state.place(t, basic.place(t, state));
+      active.push_back(t.id);
+    } else {
+      const std::uint64_t pick = rng.below(active.size());
+      const TaskId id = active[pick];
+      active[pick] = active.back();
+      active.pop_back();
+      basic.on_departure(id, state);
+      state.remove(id);
+    }
+    ASSERT_LE(state.max_load(), basic.copy_count());
+  }
+}
+
+TEST(BasicBestFitTest, NameAndFactory) {
+  const tree::Topology topo(8);
+  BasicAllocator best(topo, tree::CopyFit::kBestFit);
+  EXPECT_EQ(best.name(), "basic-bestfit");
+  EXPECT_EQ(core::make_allocator("basic-bestfit", topo)->name(),
+            "basic-bestfit");
+}
+
+TEST(BasicBestFitTest, PrefersTightestCopy) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  BasicAllocator best(topo, tree::CopyFit::kBestFit);
+  // Copy 0: half occupied (max_free 2). Copy 1: size-1 hole pattern.
+  state.place({0, 2}, best.place({0, 2}, state));   // copy0 [0,2)
+  state.place({1, 2}, best.place({1, 2}, state));   // copy0 [2,4) -> full
+  state.place({2, 2}, best.place({2, 2}, state));   // copy1 [0,2)
+  // Copy 1 now has max_free 2; a size-1 task best-fits copy 1 (free 2)
+  // over creating a new copy, same as first-fit here.
+  const tree::NodeId node = best.place({3, 1}, state);
+  state.place({3, 1}, node);
+  EXPECT_EQ(best.copy_count(), 2u);
+  // Remove one size-2 from copy0; copy0 free = 2, copy1 free = 1.
+  best.on_departure(0, state);
+  state.remove(0);
+  // A size-1 request best-fits copy1 (tightest), NOT copy0 (first).
+  const tree::NodeId next = best.place({4, 1}, state);
+  state.place({4, 1}, next);
+  EXPECT_EQ(best.copy_count(), 2u);
+}
+
+TEST(BasicBestFitTest, StillRespectsOptimalFloor) {
+  const tree::Topology topo(16);
+  util::Rng rng(77);
+  workload::ClosedLoopParams params;
+  params.n_events = 500;
+  params.utilization = 0.8;
+  params.size = workload::SizeSpec::uniform_log(0, 4);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+  sim::Engine engine(topo);
+  BasicAllocator best(topo, tree::CopyFit::kBestFit);
+  const auto result = engine.run(seq, best);
+  EXPECT_GE(result.max_load, result.optimal_load);
+}
+
+TEST(BasicTest, NeverReallocates) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  BasicAllocator basic(topo);
+  state.place({0, 1}, basic.place({0, 1}, state));
+  EXPECT_FALSE(basic.maybe_reallocate(state).has_value());
+}
+
+TEST(BasicTest, ResetClearsState) {
+  const tree::Topology topo(4);
+  MachineState state{topo};
+  BasicAllocator basic(topo);
+  state.place({0, 2}, basic.place({0, 2}, state));
+  basic.reset();
+  EXPECT_EQ(basic.copy_count(), 0u);
+  MachineState fresh{topo};
+  EXPECT_EQ(basic.place({1, 2}, fresh), 2u);
+}
+
+}  // namespace
+}  // namespace partree::core

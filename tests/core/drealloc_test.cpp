@@ -1,0 +1,123 @@
+#include "core/drealloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::core {
+namespace {
+
+TEST(DReallocTest, GreedyRegimeSelection) {
+  const tree::Topology topo(1024);  // greedy factor = ceil(11/2) = 6
+  EXPECT_FALSE(DReallocAllocator(topo, ReallocParam::finite(0)).greedy_regime());
+  EXPECT_FALSE(DReallocAllocator(topo, ReallocParam::finite(5)).greedy_regime());
+  EXPECT_TRUE(DReallocAllocator(topo, ReallocParam::finite(6)).greedy_regime());
+  EXPECT_TRUE(DReallocAllocator(topo, ReallocParam::inf()).greedy_regime());
+}
+
+TEST(DReallocTest, Names) {
+  const tree::Topology topo(16);
+  EXPECT_EQ(DReallocAllocator(topo, ReallocParam::finite(2)).name(),
+            "dmix(d=2)");
+  EXPECT_EQ(DReallocAllocator(topo, ReallocParam::inf()).name(),
+            "dmix(d=inf)");
+}
+
+TEST(DReallocTest, Figure1OneReallocationAchievesOptimal) {
+  // The paper's Figure 1: a 1-reallocation algorithm reaches load 1 on
+  // sigma* by repacking when t5 arrives.
+  const tree::Topology topo(4);
+  sim::Engine engine(topo);
+  DReallocAllocator alloc(topo, ReallocParam::finite(1));
+  const auto result = engine.run(figure1_sequence(), alloc);
+  EXPECT_EQ(result.max_load, 1u);
+  EXPECT_EQ(result.reallocation_count, 1u);
+}
+
+TEST(DReallocTest, DZeroMatchesOptimal) {
+  const tree::Topology topo(16);
+  util::Rng rng(5);
+  workload::ClosedLoopParams params;
+  params.n_events = 500;
+  params.utilization = 0.8;
+  params.size = workload::SizeSpec::uniform_log(0, 4);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  DReallocAllocator alloc(topo, ReallocParam::finite(0));
+  const auto result = engine.run(seq, alloc);
+  EXPECT_EQ(result.max_load, result.optimal_load);
+  EXPECT_EQ(result.reallocation_count, seq.arrival_count());
+}
+
+TEST(DReallocTest, InfiniteDNeverReallocates) {
+  const tree::Topology topo(16);
+  util::Rng rng(7);
+  workload::ClosedLoopParams params;
+  params.n_events = 300;
+  params.size = workload::SizeSpec::uniform_log(0, 4);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  DReallocAllocator alloc(topo, ReallocParam::inf());
+  const auto result = engine.run(seq, alloc);
+  EXPECT_EQ(result.reallocation_count, 0u);
+  EXPECT_EQ(result.migration_count, 0u);
+}
+
+TEST(DReallocTest, ReallocationFrequencyScalesWithD) {
+  // Larger d must reallocate at most as often as smaller d.
+  const tree::Topology topo(16);
+  util::Rng rng(11);
+  workload::ClosedLoopParams params;
+  params.n_events = 2000;
+  params.utilization = 0.9;
+  params.size = workload::SizeSpec::uniform_log(0, 3);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  std::uint64_t previous = UINT64_MAX;
+  for (std::uint64_t d = 0; d <= 2; ++d) {
+    DReallocAllocator alloc(topo, ReallocParam::finite(d));
+    const auto result = engine.run(seq, alloc);
+    EXPECT_LE(result.reallocation_count, previous) << "d=" << d;
+    previous = result.reallocation_count;
+  }
+}
+
+class DReallocBound
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(DReallocBound, Theorem42Holds) {
+  const auto [n, d] = GetParam();
+  const tree::Topology topo(n);
+  const std::uint64_t factor = util::det_upper_factor(n, d);
+  util::Rng rng(n * 31 + d);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    workload::ClosedLoopParams params;
+    params.n_events = 800;
+    params.utilization = 0.6 + 0.08 * trial;
+    params.size = workload::SizeSpec::uniform_log(0, topo.height());
+    const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+    sim::Engine engine(topo);
+    DReallocAllocator alloc(topo, ReallocParam::finite(d));
+    const auto result = engine.run(seq, alloc);
+    EXPECT_LE(result.max_load, factor * result.optimal_load)
+        << "N=" << n << " d=" << d << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DReallocBound,
+    ::testing::Combine(::testing::Values(16, 64, 256),
+                       ::testing::Values(0, 1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace partree::core

@@ -1,0 +1,95 @@
+#include "core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/stressors.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::core {
+namespace {
+
+TEST(OptimalTest, Figure1AchievesOptimal) {
+  const tree::Topology topo(4);
+  sim::Engine engine(topo);
+  OptimalReallocAllocator optimal(topo);
+  const auto result = engine.run(figure1_sequence(), optimal);
+  EXPECT_EQ(result.max_load, 1u);
+  EXPECT_EQ(result.optimal_load, 1u);
+}
+
+TEST(OptimalTest, ReallocatesOnEveryArrival) {
+  const tree::Topology topo(4);
+  sim::Engine engine(topo);
+  OptimalReallocAllocator optimal(topo);
+  const auto result = engine.run(figure1_sequence(), optimal);
+  EXPECT_EQ(result.reallocation_count, 5u);  // one per arrival
+}
+
+class OptimalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalProperty, Theorem31LoadEqualsRunningOptimal) {
+  // A_C's load after EVERY event equals ceil(S(sigma;tau)/N).
+  const tree::Topology topo(GetParam());
+  util::Rng rng(GetParam() * 7 + 11);
+  workload::ClosedLoopParams params;
+  params.n_events = 600;
+  params.utilization = 0.85;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
+  OptimalReallocAllocator optimal(topo);
+  const auto result = engine.run(seq, optimal);
+
+  EXPECT_EQ(result.max_load, result.optimal_load);
+  // Event-by-event: load(tau) == ceil(S(tau)/N) after every arrival
+  // (Theorem 3.1's repack). Departures do not trigger a repack, so
+  // afterwards the load can only stay at or below the level of the last
+  // arrival's packing.
+  std::uint64_t active = 0;
+  std::uint64_t last_packed = 0;
+  std::unordered_map<TaskId, std::uint64_t> sizes;
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const Event& e = seq[t];
+    if (e.kind == EventKind::kArrival) {
+      sizes[e.task.id] = e.task.size;
+      active += e.task.size;
+      last_packed = (active + topo.n_leaves() - 1) / topo.n_leaves();
+      ASSERT_EQ(result.load_series[t], last_packed) << "event " << t;
+    } else {
+      active -= sizes[e.task.id];
+      ASSERT_LE(result.load_series[t], last_packed) << "event " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OptimalProperty,
+                         ::testing::Values(2, 4, 16, 64, 128));
+
+TEST(OptimalTest, StaircaseStaysOptimal) {
+  const tree::Topology topo(64);
+  sim::Engine engine(topo);
+  OptimalReallocAllocator optimal(topo);
+  const auto result =
+      engine.run(workload::staircase(topo, topo.height()), optimal);
+  EXPECT_EQ(result.max_load, result.optimal_load);
+}
+
+TEST(OptimalTest, MigrationsOnlyWhenNeeded) {
+  // Arrival-only same-size sequences pack identically each time: the
+  // repack must be all self-moves.
+  const tree::Topology topo(8);
+  TaskSequence seq;
+  for (int i = 0; i < 8; ++i) (void)seq.arrive(1);
+  sim::Engine engine(topo);
+  OptimalReallocAllocator optimal(topo);
+  const auto result = engine.run(seq, optimal);
+  EXPECT_EQ(result.migration_count, 0u);
+  EXPECT_EQ(result.reallocation_count, 8u);
+}
+
+}  // namespace
+}  // namespace partree::core

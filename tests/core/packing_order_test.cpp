@@ -1,0 +1,108 @@
+#include "core/packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace partree::core {
+namespace {
+
+std::vector<ActiveTask> make_tasks(const std::vector<std::uint64_t>& sizes) {
+  std::vector<ActiveTask> tasks;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    tasks.push_back({Task{i, sizes[i]}, tree::kInvalidNode});
+  }
+  return tasks;
+}
+
+std::uint64_t copies_used(const std::vector<PackedTask>& packed) {
+  std::uint64_t copies = 0;
+  for (const PackedTask& p : packed) {
+    copies = std::max(copies, p.placement.copy + 1);
+  }
+  return copies;
+}
+
+TEST(PackOrderTest, DecreasingMatchesPackTasks) {
+  const tree::Topology topo(16);
+  const auto tasks = make_tasks({1, 8, 2, 4, 2, 1});
+  const auto a = pack_tasks(topo, tasks);
+  const auto b = pack_tasks_ordered(topo, tasks, PackOrder::kDecreasingSize);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].placement, b[i].placement);
+  }
+}
+
+TEST(PackOrderTest, IncreasingSortsAscending) {
+  const tree::Topology topo(16);
+  const auto packed = pack_tasks_ordered(topo, make_tasks({8, 1, 4, 1}),
+                                         PackOrder::kIncreasingSize);
+  ASSERT_EQ(packed.size(), 4u);
+  EXPECT_EQ(packed[0].size, 1u);
+  EXPECT_EQ(packed[0].id, 1u);  // ties by id ascending
+  EXPECT_EQ(packed[1].id, 3u);
+  EXPECT_EQ(packed[3].size, 8u);
+}
+
+TEST(PackOrderTest, ArrivalOrderPreservesIds) {
+  const tree::Topology topo(16);
+  const auto packed = pack_tasks_ordered(topo, make_tasks({8, 1, 4, 1}),
+                                         PackOrder::kArrivalOrder);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(packed[i].id, i);
+  }
+}
+
+class PackOrderProperty : public ::testing::TestWithParam<PackOrder> {};
+
+TEST_P(PackOrderProperty, OneShotPackReachesCeilBound) {
+  // The Lemma 2 argument: first-fit in ANY order packs a static set into
+  // ceil(S/N) copies.
+  const tree::Topology topo(32);
+  util::Rng rng(41);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t total = 0;
+    const int count = 1 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t size = std::uint64_t{1} << rng.below(6);
+      sizes.push_back(size);
+      total += size;
+    }
+    const auto packed =
+        pack_tasks_ordered(topo, make_tasks(sizes), GetParam());
+    EXPECT_EQ(copies_used(packed), util::ceil_div(total, 32))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(PackOrderProperty, PlacementsDisjointWithinCopies) {
+  const tree::Topology topo(32);
+  util::Rng rng(43);
+  std::vector<std::uint64_t> sizes;
+  for (int i = 0; i < 30; ++i) {
+    sizes.push_back(std::uint64_t{1} << rng.below(5));
+  }
+  const auto packed = pack_tasks_ordered(topo, make_tasks(sizes), GetParam());
+  for (std::size_t a = 0; a < packed.size(); ++a) {
+    for (std::size_t b = a + 1; b < packed.size(); ++b) {
+      if (packed[a].placement.copy != packed[b].placement.copy) continue;
+      const tree::NodeId va = packed[a].placement.node;
+      const tree::NodeId vb = packed[b].placement.node;
+      EXPECT_FALSE(topo.contains(va, vb) || topo.contains(vb, va));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PackOrderProperty,
+                         ::testing::Values(PackOrder::kDecreasingSize,
+                                           PackOrder::kIncreasingSize,
+                                           PackOrder::kArrivalOrder));
+
+}  // namespace
+}  // namespace partree::core

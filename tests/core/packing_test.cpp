@@ -1,0 +1,117 @@
+#include "core/packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace partree::core {
+namespace {
+
+std::vector<ActiveTask> make_tasks(const std::vector<std::uint64_t>& sizes) {
+  std::vector<ActiveTask> tasks;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    tasks.push_back({Task{i, sizes[i]}, tree::kInvalidNode});
+  }
+  return tasks;
+}
+
+std::uint64_t copies_used(const std::vector<PackedTask>& packed) {
+  std::uint64_t copies = 0;
+  for (const PackedTask& p : packed) {
+    copies = std::max(copies, p.placement.copy + 1);
+  }
+  return copies;
+}
+
+TEST(PackingTest, EmptyInput) {
+  const tree::Topology topo(8);
+  EXPECT_TRUE(pack_tasks(topo, {}).empty());
+}
+
+TEST(PackingTest, PerfectFitUsesOneCopy) {
+  const tree::Topology topo(8);
+  const auto packed = pack_tasks(topo, make_tasks({4, 2, 2}));
+  EXPECT_EQ(copies_used(packed), 1u);
+}
+
+TEST(PackingTest, Lemma1CeilBound) {
+  // For any task set of total size S, A_R uses exactly ceil(S/N) copies.
+  const tree::Topology topo(16);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> sizes;
+    const int count = 1 + static_cast<int>(rng.below(30));
+    std::uint64_t total = 0;
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t size = std::uint64_t{1} << rng.below(5);
+      sizes.push_back(size);
+      total += size;
+    }
+    const auto packed = pack_tasks(topo, make_tasks(sizes));
+    EXPECT_EQ(copies_used(packed), util::ceil_div(total, 16))
+        << "trial " << trial;
+  }
+}
+
+TEST(PackingTest, SortsByDecreasingSizeThenId) {
+  const tree::Topology topo(8);
+  const auto packed = pack_tasks(topo, make_tasks({1, 8, 2, 2}));
+  ASSERT_EQ(packed.size(), 4u);
+  EXPECT_EQ(packed[0].size, 8u);
+  EXPECT_EQ(packed[1].size, 2u);
+  EXPECT_EQ(packed[1].id, 2u);  // id order among equal sizes
+  EXPECT_EQ(packed[2].id, 3u);
+  EXPECT_EQ(packed[3].size, 1u);
+}
+
+TEST(PackingTest, PlacementsWithinCopyAreDisjoint) {
+  const tree::Topology topo(16);
+  util::Rng rng(17);
+  std::vector<std::uint64_t> sizes;
+  for (int i = 0; i < 25; ++i) {
+    sizes.push_back(std::uint64_t{1} << rng.below(4));
+  }
+  const auto packed = pack_tasks(topo, make_tasks(sizes));
+  for (std::size_t a = 0; a < packed.size(); ++a) {
+    for (std::size_t b = a + 1; b < packed.size(); ++b) {
+      if (packed[a].placement.copy != packed[b].placement.copy) continue;
+      const tree::NodeId va = packed[a].placement.node;
+      const tree::NodeId vb = packed[b].placement.node;
+      EXPECT_FALSE(topo.contains(va, vb) || topo.contains(vb, va))
+          << "overlap in copy " << packed[a].placement.copy;
+    }
+  }
+}
+
+TEST(PackingTest, DeterministicAcrossInputOrder) {
+  const tree::Topology topo(8);
+  auto tasks = make_tasks({1, 2, 4, 1, 2});
+  const auto packed1 = pack_tasks(topo, tasks);
+  std::reverse(tasks.begin(), tasks.end());
+  const auto packed2 = pack_tasks(topo, tasks);
+  ASSERT_EQ(packed1.size(), packed2.size());
+  for (std::size_t i = 0; i < packed1.size(); ++i) {
+    EXPECT_EQ(packed1[i].id, packed2[i].id);
+    EXPECT_EQ(packed1[i].placement, packed2[i].placement);
+  }
+}
+
+TEST(PackingTest, PlanRepackProducesValidMigrations) {
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  state.place({0, 2}, 5);  // scattered placements
+  state.place({1, 2}, 7);
+  state.place({2, 4}, 2);
+  std::uint64_t copies = 0;
+  const auto migrations = plan_repack(state, &copies);
+  EXPECT_EQ(copies, 1u);  // total size 8 fits one copy
+  ASSERT_EQ(migrations.size(), 3u);
+  state.migrate(migrations);  // must not trip validation
+  EXPECT_EQ(state.max_load(), 1u);
+}
+
+}  // namespace
+}  // namespace partree::core

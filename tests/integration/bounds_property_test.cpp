@@ -1,0 +1,111 @@
+// Property suite: every theorem's bound, checked across a workload grid.
+#include <gtest/gtest.h>
+
+#include "adversary/det_adversary.hpp"
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+#include "workload/campaign.hpp"
+
+namespace partree {
+namespace {
+
+struct GridCase {
+  std::uint64_t n;
+  std::string campaign;
+};
+
+class BoundGrid : public ::testing::TestWithParam<
+                      std::tuple<std::uint64_t, std::string>> {
+ protected:
+  core::TaskSequence sequence() {
+    const auto [n, campaign] = GetParam();
+    util::Rng rng(n * 1009 + std::hash<std::string>{}(campaign));
+    return workload::make_campaign(campaign, tree::Topology(n), rng, 0.5);
+  }
+};
+
+TEST_P(BoundGrid, OptimalAchievesLStar) {
+  const auto [n, campaign] = GetParam();
+  const tree::Topology topo(n);
+  sim::Engine engine(topo);
+  auto alloc = core::make_allocator("optimal", topo);
+  const auto result = engine.run(sequence(), *alloc);
+  EXPECT_EQ(result.max_load, result.optimal_load) << campaign;
+}
+
+TEST_P(BoundGrid, GreedyWithinTheorem41) {
+  const auto [n, campaign] = GetParam();
+  const tree::Topology topo(n);
+  const std::uint64_t factor = util::det_upper_factor(n, 0, /*inf=*/true);
+  sim::Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  const auto result = engine.run(sequence(), *alloc);
+  EXPECT_LE(result.max_load, factor * result.optimal_load) << campaign;
+}
+
+TEST_P(BoundGrid, BasicWithinLemma2) {
+  const auto [n, campaign] = GetParam();
+  const tree::Topology topo(n);
+  const core::TaskSequence seq = sequence();
+  sim::Engine engine(topo);
+  auto alloc = core::make_allocator("basic", topo);
+  const auto result = engine.run(seq, *alloc);
+  EXPECT_LE(result.max_load,
+            util::ceil_div(seq.total_arrival_size(), n))
+      << campaign;
+}
+
+TEST_P(BoundGrid, DMixWithinTheorem42) {
+  const auto [n, campaign] = GetParam();
+  const tree::Topology topo(n);
+  const core::TaskSequence seq = sequence();
+  sim::Engine engine(topo);
+  for (const std::uint64_t d : {0ull, 1ull, 2ull, 4ull}) {
+    auto alloc = core::make_allocator("dmix:d=" + std::to_string(d), topo);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_LE(result.max_load,
+              util::det_upper_factor(n, d) * result.optimal_load)
+        << campaign << " d=" << d;
+  }
+}
+
+TEST_P(BoundGrid, EveryAllocatorPlacesValidly) {
+  // The engine validates placements internally (asserts); completing a run
+  // for every spec is itself the property.
+  const auto [n, campaign] = GetParam();
+  const tree::Topology topo(n);
+  const core::TaskSequence seq = sequence();
+  sim::Engine engine(topo);
+  for (const std::string& spec : core::known_allocator_specs()) {
+    auto alloc = core::make_allocator(spec, topo, 11);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_GE(result.max_load, result.optimal_load > 0 ? 1u : 0u) << spec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundGrid,
+    ::testing::Combine(::testing::Values<std::uint64_t>(4, 16, 64, 256),
+                       ::testing::ValuesIn([] {
+                         return workload::campaign_names();
+                       }())));
+
+TEST(BoundsIntegration, AdversaryBeatsUpperBoundGapWithinTwo) {
+  // The measured adversarial load must land between the paper's lower and
+  // upper bound factors (they are tight within 2x).
+  for (const std::uint64_t n : {16ull, 64ull, 256ull, 1024ull}) {
+    const tree::Topology topo(n);
+    adversary::DetAdversary adv(topo, topo.height());
+    auto alloc = core::make_allocator("greedy", topo);
+    sim::Engine engine(topo);
+    const auto result = engine.run_interactive(adv, *alloc);
+    const std::uint64_t lower = util::det_lower_factor(n, 0, true);
+    const std::uint64_t upper = util::det_upper_factor(n, 0, true);
+    EXPECT_GE(result.max_load, lower * result.optimal_load) << n;
+    EXPECT_LE(result.max_load, upper * result.optimal_load) << n;
+  }
+}
+
+}  // namespace
+}  // namespace partree

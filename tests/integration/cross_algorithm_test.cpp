@@ -1,0 +1,101 @@
+// Cross-algorithm orderings that the theory predicts.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/campaign.hpp"
+#include "workload/stressors.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree {
+namespace {
+
+TEST(CrossAlgorithm, MoreReallocationNeverWorseOnFragmenters) {
+  // On the staircase nemesis, smaller d (more reallocation) gives load no
+  // worse than larger d.
+  const tree::Topology topo(256);
+  const core::TaskSequence seq = workload::staircase(topo, topo.height());
+  sim::Engine engine(topo);
+
+  std::uint64_t previous = 0;
+  for (const std::uint64_t d : {0ull, 1ull, 2ull, 3ull}) {
+    auto alloc = core::make_allocator("dmix:d=" + std::to_string(d), topo);
+    const auto result = engine.run(seq, *alloc);
+    if (d > 0) {
+      EXPECT_GE(result.max_load + 1, previous) << "d=" << d;
+    }
+    previous = result.max_load;
+  }
+}
+
+TEST(CrossAlgorithm, OptimalNeverWorseThanAnyone) {
+  const tree::Topology topo(64);
+  sim::Engine engine(topo);
+  for (const std::string& campaign : workload::campaign_names()) {
+    util::Rng rng(31);
+    const auto seq = workload::make_campaign(campaign, topo, rng, 0.4);
+    auto optimal = core::make_allocator("optimal", topo);
+    const auto best = engine.run(seq, *optimal);
+    for (const char* spec : {"greedy", "basic", "leftmost", "roundrobin"}) {
+      auto other = core::make_allocator(spec, topo);
+      const auto result = engine.run(seq, *other);
+      EXPECT_LE(best.max_load, result.max_load)
+          << campaign << " vs " << spec;
+    }
+  }
+}
+
+TEST(CrossAlgorithm, GreedyNeverWorseThanLeftmost) {
+  const tree::Topology topo(64);
+  sim::Engine engine(topo);
+  for (const std::string& campaign : workload::campaign_names()) {
+    util::Rng rng(17);
+    const auto seq = workload::make_campaign(campaign, topo, rng, 0.4);
+    auto greedy = core::make_allocator("greedy", topo);
+    auto leftmost = core::make_allocator("leftmost", topo);
+    EXPECT_LE(engine.run(seq, *greedy).max_load,
+              engine.run(seq, *leftmost).max_load)
+        << campaign;
+  }
+}
+
+TEST(CrossAlgorithm, ReallocationCostDecreasesWithD) {
+  // The trade: total migrated volume shrinks as d grows.
+  const tree::Topology topo(64);
+  util::Rng rng(23);
+  const auto seq =
+      workload::make_campaign("steady-mix", topo, rng, 1.0);
+  sim::Engine engine(topo);
+  std::uint64_t previous_migrated = UINT64_MAX;
+  for (const std::uint64_t d : {0ull, 1ull, 2ull}) {
+    auto alloc = core::make_allocator("dmix:d=" + std::to_string(d), topo);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_LE(result.migrated_size, previous_migrated) << "d=" << d;
+    previous_migrated = result.migrated_size;
+  }
+}
+
+TEST(CrossAlgorithm, CopyAllocatorsAgreeWhenNoReallocTriggers) {
+  // A_M with huge finite d (below the greedy threshold) degenerates to
+  // A_B when the sequence volume never crosses dN.
+  const tree::Topology topo(1024);  // greedy factor 6
+  util::Rng rng(29);
+  workload::ClosedLoopParams params;
+  // Hold total arrivals under d*N = 5 * 1024.
+  params.n_events = 300;
+  params.utilization = 0.5;
+  params.size = workload::SizeSpec::uniform_log(0, 4);
+  const auto seq = workload::closed_loop(topo, params, rng);
+  ASSERT_LT(seq.total_arrival_size(), 5 * topo.n_leaves());
+
+  sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
+  auto basic = core::make_allocator("basic", topo);
+  auto dmix = core::make_allocator("dmix:d=5", topo);
+  const auto r1 = engine.run(seq, *basic);
+  const auto r2 = engine.run(seq, *dmix);
+  EXPECT_EQ(r1.load_series, r2.load_series);
+  EXPECT_EQ(r2.reallocation_count, 0u);
+}
+
+}  // namespace
+}  // namespace partree

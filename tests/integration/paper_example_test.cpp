@@ -1,0 +1,80 @@
+// Reproduction of the paper's Figure 1 worked example, end to end.
+//
+// sigma*: t1..t4 (size 1) arrive, t2 and t4 depart, t5 (size 2) arrives,
+// on a 4-PE tree machine.
+//   - The greedy online algorithm reaches load 2.
+//   - A 1-reallocation algorithm reaches the optimal load 1 by repacking
+//     when t5 arrives (t3 moves into t2's old slot).
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+
+namespace partree {
+namespace {
+
+class Figure1 : public ::testing::Test {
+ protected:
+  tree::Topology topo_{4};
+  core::TaskSequence sigma_star_ = core::figure1_sequence();
+};
+
+TEST_F(Figure1, OptimalLoadIsOne) {
+  EXPECT_EQ(sigma_star_.optimal_load(4), 1u);
+  EXPECT_EQ(sigma_star_.peak_active_size(), 4u);
+}
+
+TEST_F(Figure1, GreedyReachesLoadTwo) {
+  sim::Engine engine(topo_, sim::EngineOptions{.record_series = true});
+  auto greedy = core::make_allocator("greedy", topo_);
+  const auto result = engine.run(sigma_star_, *greedy);
+  EXPECT_EQ(result.max_load, 2u);
+  // Load stays 1 until t5 arrives on the already-loaded left half.
+  ASSERT_EQ(result.load_series.size(), 7u);
+  for (std::size_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(result.load_series[t], 1u) << "event " << t;
+  }
+  EXPECT_EQ(result.load_series[6], 2u);
+}
+
+TEST_F(Figure1, OneReallocationAchievesOptimal) {
+  sim::Engine engine(topo_, sim::EngineOptions{.record_series = true});
+  auto dmix = core::make_allocator("dmix:d=1", topo_);
+  const auto result = engine.run(sigma_star_, *dmix);
+  EXPECT_EQ(result.max_load, 1u);
+  EXPECT_EQ(result.reallocation_count, 1u);
+  for (const std::uint64_t load : result.load_series) {
+    EXPECT_EQ(load, 1u);
+  }
+}
+
+TEST_F(Figure1, ConstantReallocationAchievesOptimal) {
+  sim::Engine engine(topo_);
+  auto optimal = core::make_allocator("optimal", topo_);
+  const auto result = engine.run(sigma_star_, *optimal);
+  EXPECT_EQ(result.max_load, 1u);
+}
+
+TEST_F(Figure1, GreedyPlacementsMatchTheFigure) {
+  // The figure shows t1..t4 on PEs 0..3 and t5 stacked on {PE0, PE1}.
+  core::MachineState state(topo_);
+  auto greedy = core::make_allocator("greedy", topo_);
+  const auto events = sigma_star_.events();
+
+  // t1..t4 arrivals land left to right.
+  const tree::NodeId expected[] = {4, 5, 6, 7};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const tree::NodeId node = greedy->place(events[i].task, state);
+    EXPECT_EQ(node, expected[i]) << "t" << (i + 1);
+    state.place(events[i].task, node);
+  }
+  // Departures of t2 and t4.
+  state.remove(1);
+  state.remove(3);
+  // t5 (size 2) ties between halves; leftmost wins: node 2 = PEs {0,1}.
+  EXPECT_EQ(greedy->place(events[6].task, state), 2u);
+}
+
+}  // namespace
+}  // namespace partree

@@ -1,0 +1,86 @@
+// Tightness observations: where the measured adversarial loads sit
+// relative to the paper's two bounds (which are within 2x of each other).
+#include <gtest/gtest.h>
+
+#include "adversary/det_adversary.hpp"
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+
+namespace partree {
+namespace {
+
+class Tightness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Tightness, AdversaryVsGreedyLandsExactlyOnLowerBound) {
+  // Empirical regularity this repo documents: the Theorem 4.3 adversary
+  // with p = log N phases forces greedy to EXACTLY ceil((logN+1)/2) --
+  // matching both bounds since they coincide for d = infinity. A change
+  // in adversary or greedy that silently weakens either side breaks this.
+  const std::uint64_t n = GetParam();
+  const tree::Topology topo(n);
+  adversary::DetAdversary adversary(topo, topo.height());
+  auto greedy = core::make_allocator("greedy", topo);
+  sim::Engine engine(topo);
+  const auto result = engine.run_interactive(adversary, *greedy);
+  EXPECT_EQ(result.max_load, util::det_lower_factor(n, 0, true));
+  EXPECT_EQ(result.optimal_load, 1u);
+}
+
+TEST_P(Tightness, AdversaryVsDmixSandwichedByTheorems) {
+  const std::uint64_t n = GetParam();
+  const tree::Topology topo(n);
+  sim::Engine engine(topo);
+  for (std::uint64_t d = 1; d <= 4; ++d) {
+    adversary::DetAdversary adversary = adversary::DetAdversary::for_d(topo, d);
+    auto alloc = core::make_allocator("dmix:d=" + std::to_string(d), topo);
+    const auto result = engine.run_interactive(adversary, *alloc);
+    EXPECT_GE(result.max_load, util::det_lower_factor(n, d)) << "d=" << d;
+    EXPECT_LE(result.max_load, util::det_upper_factor(n, d)) << "d=" << d;
+  }
+}
+
+TEST_P(Tightness, BoundsGapNeverExceedsTwo) {
+  const std::uint64_t n = GetParam();
+  for (std::uint64_t d = 0; d <= 2 * util::exact_log2(n); ++d) {
+    const auto upper = static_cast<double>(util::det_upper_factor(n, d));
+    const auto lower = static_cast<double>(util::det_lower_factor(n, d));
+    EXPECT_LE(upper, 2.0 * lower) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, Tightness,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512,
+                                           1024, 2048));
+
+TEST(TightnessExtra, GreedyBoundTightOnlyViaAdversary) {
+  // Stochastic campaigns never reach the bound; the adversary does.
+  // Guards against a "too strong" greedy implementation accidentally
+  // beating the theory (which would indicate a model bug).
+  const tree::Topology topo(256);
+  adversary::DetAdversary adversary(topo, topo.height());
+  auto greedy = core::make_allocator("greedy", topo);
+  sim::Engine engine(topo);
+  const auto adversarial = engine.run_interactive(adversary, *greedy);
+  EXPECT_EQ(adversarial.ratio(),
+            static_cast<double>(util::det_upper_factor(256, 0, true)));
+}
+
+TEST(TightnessExtra, LeftmostIsUnboundedlyBad) {
+  // The naive baseline has NO f(N) guarantee: its ratio on the staircase
+  // grows linearly with N, not logarithmically.
+  for (const std::uint64_t n : {64ull, 256ull, 1024ull}) {
+    const tree::Topology topo(n);
+    core::TaskSequence seq;
+    std::vector<core::TaskId> ids;
+    for (std::uint64_t i = 0; i < n; ++i) ids.push_back(seq.arrive(1));
+    sim::Engine engine(topo);
+    auto leftmost = core::make_allocator("leftmost", topo);
+    const auto result = engine.run(seq, *leftmost);
+    EXPECT_EQ(result.max_load, n);  // everything on PE 0
+    EXPECT_EQ(result.optimal_load, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace partree

@@ -1,0 +1,113 @@
+#include "karytree/k_allocators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::karytree {
+namespace {
+
+TEST(KWorkloadTest, ClosedLoopIsValid) {
+  const KTopology topo(4, 3);
+  const auto events = k_closed_loop(topo, 800, 0.8, 5);
+  std::uint64_t active = 0;
+  std::uint64_t arrivals = 0;
+  for (const KEvent& e : events) {
+    if (e.kind == KEvent::Kind::kArrival) {
+      EXPECT_TRUE(topo.valid_size(e.size));
+      ++active;
+      ++arrivals;
+    } else {
+      ASSERT_GT(active, 0u);
+      --active;
+    }
+  }
+  EXPECT_EQ(active, 0u);  // closed
+  EXPECT_GT(arrivals, 0u);
+}
+
+TEST(KWorkloadTest, StaircaseIsValidAndSubUnit) {
+  const KTopology topo(4, 3);
+  const auto events = k_staircase(topo);
+  std::uint64_t active_size = 0;
+  std::uint64_t peak = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> sizes;
+  for (const KEvent& e : events) {
+    if (e.kind == KEvent::Kind::kArrival) {
+      sizes[e.id] = e.size;
+      active_size += e.size;
+      peak = std::max(peak, active_size);
+    } else {
+      active_size -= sizes.at(e.id);
+    }
+  }
+  EXPECT_LE(peak, topo.n_leaves());
+}
+
+TEST(KRunTest, GreedyWithinGeneralizedBound) {
+  for (const std::uint64_t arity : {2ull, 3ull, 4ull}) {
+    const KTopology topo(arity, arity == 2 ? 8u : 4u);
+    const auto events = k_closed_loop(topo, 2000, 0.85, 7);
+    const KRunResult result = k_run(topo, events, KPolicy::kGreedy);
+    EXPECT_LE(result.max_load,
+              k_greedy_bound(topo) * result.optimal_load)
+        << "arity " << arity;
+    EXPECT_GE(result.max_load, result.optimal_load);
+  }
+}
+
+TEST(KRunTest, DZeroIsOptimalEverywhere) {
+  // The generalized A_C (d = 0) achieves L* on every machine we try.
+  for (const std::uint64_t arity : {2ull, 3ull, 4ull, 8ull}) {
+    const KTopology topo(arity, 3);
+    const auto events = k_closed_loop(topo, 1500, 0.9, 11);
+    const KRunResult result =
+        k_run(topo, events, KPolicy::kDRealloc, /*d=*/0);
+    EXPECT_EQ(result.max_load, result.optimal_load) << "arity " << arity;
+  }
+}
+
+TEST(KRunTest, TradeoffMonotoneOnStaircase) {
+  // Larger d -> no fewer reallocations is false; larger d -> no lower
+  // load on the fragmenting staircase (within one unit of noise).
+  const KTopology topo(4, 4);  // 256 PEs
+  const auto events = k_staircase(topo);
+  std::uint64_t previous = 0;
+  for (const std::uint64_t d : {0ull, 1ull, 2ull, 4ull}) {
+    const KRunResult result = k_run(topo, events, KPolicy::kDRealloc, d);
+    EXPECT_GE(result.max_load + 1, previous) << "d=" << d;
+    previous = result.max_load;
+  }
+}
+
+TEST(KRunTest, BasicNeverReallocates) {
+  const KTopology topo(4, 3);
+  const auto events = k_closed_loop(topo, 1000, 0.8, 13);
+  const KRunResult result = k_run(topo, events, KPolicy::kBasic);
+  EXPECT_EQ(result.reallocations, 0u);
+  EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST(KRunTest, StaircaseFragmentsNorealloc) {
+  const KTopology topo(4, 4);
+  const auto events = k_staircase(topo);
+  const KRunResult greedy = k_run(topo, events, KPolicy::kGreedy);
+  const KRunResult optimal = k_run(topo, events, KPolicy::kDRealloc, 0);
+  EXPECT_EQ(optimal.max_load, optimal.optimal_load);
+  EXPECT_GE(greedy.max_load, optimal.max_load);
+}
+
+TEST(KRunTest, PolicyNames) {
+  EXPECT_EQ(to_string(KPolicy::kGreedy), "k-greedy");
+  EXPECT_EQ(to_string(KPolicy::kBasic), "k-basic");
+  EXPECT_EQ(to_string(KPolicy::kDRealloc), "k-dmix");
+}
+
+TEST(KRunTest, EmptyEventsGiveZero) {
+  const KTopology topo(4, 2);
+  const KRunResult result = k_run(topo, {}, KPolicy::kGreedy);
+  EXPECT_EQ(result.max_load, 0u);
+  EXPECT_EQ(result.optimal_load, 0u);
+  EXPECT_DOUBLE_EQ(result.ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace partree::karytree

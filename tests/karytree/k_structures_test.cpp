@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "karytree/k_load_tree.hpp"
+#include "karytree/k_vacancy.hpp"
+#include "tree/load_tree.hpp"
+#include "util/rng.hpp"
+
+namespace partree::karytree {
+namespace {
+
+TEST(KLoadTreeTest, BasicAssignRelease) {
+  KLoadTree loads{KTopology(4, 2)};
+  EXPECT_EQ(loads.max_load(), 0u);
+  loads.assign(1);  // first quadrant
+  EXPECT_EQ(loads.max_load(), 1u);
+  EXPECT_EQ(loads.pe_load(0), 1u);
+  EXPECT_EQ(loads.pe_load(4), 0u);
+  loads.assign(0);  // whole machine
+  EXPECT_EQ(loads.max_load(), 2u);
+  EXPECT_EQ(loads.subtree_max(2), 1u);
+  EXPECT_EQ(loads.subtree_max(1), 2u);
+  loads.release(1);
+  loads.release(0);
+  EXPECT_EQ(loads.max_load(), 0u);
+}
+
+TEST(KLoadTreeTest, MinLoadNodeLeftmost) {
+  KLoadTree loads{KTopology(4, 2)};
+  EXPECT_EQ(loads.min_load_node(4), 1u);
+  loads.assign(1);
+  EXPECT_EQ(loads.min_load_node(4), 2u);
+  loads.assign(2);
+  loads.assign(3);
+  loads.assign(4);
+  EXPECT_EQ(loads.min_load_node(4), 1u);  // tie again: leftmost
+}
+
+TEST(KLoadTreeTest, BinaryArityMatchesMainLoadTree) {
+  // The arity-2 specialization must agree with tree::LoadTree on random
+  // churn (node id translation: k-ary 0-based level order vs heap order).
+  const KTopology ktopo(2, 6);
+  const tree::Topology btopo(64);
+  KLoadTree kloads{ktopo};
+  tree::LoadTree bloads{btopo};
+  util::Rng rng(17);
+
+  // k node -> heap node: depth d, index i  =>  2^d + i.
+  const auto to_heap = [&](KNodeId v) {
+    const std::uint32_t d = ktopo.depth(v);
+    return (std::uint64_t{1} << d) + ktopo.index_of(v);
+  };
+
+  std::vector<KNodeId> assigned;
+  for (int step = 0; step < 500; ++step) {
+    if (assigned.empty() || rng.bernoulli(0.6)) {
+      const std::uint64_t log = rng.below(7);
+      const std::uint64_t size = std::uint64_t{1} << log;
+      const KNodeId v =
+          ktopo.node_for(size, rng.below(ktopo.count_for_size(size)));
+      kloads.assign(v);
+      bloads.assign(to_heap(v));
+      assigned.push_back(v);
+    } else {
+      const std::uint64_t pick = rng.below(assigned.size());
+      const KNodeId v = assigned[pick];
+      assigned[pick] = assigned.back();
+      assigned.pop_back();
+      kloads.release(v);
+      bloads.release(to_heap(v));
+    }
+    ASSERT_EQ(kloads.max_load(), bloads.max_load()) << "step " << step;
+    const std::uint64_t qlog = rng.below(7);
+    const std::uint64_t qsize = std::uint64_t{1} << qlog;
+    ASSERT_EQ(to_heap(kloads.min_load_node(qsize)),
+              bloads.min_load_node(qsize))
+        << "step " << step;
+  }
+}
+
+TEST(KVacancyTest, LeftmostAllocation) {
+  KVacancyTree vac{KTopology(4, 2)};
+  EXPECT_EQ(vac.max_free(), 16u);
+  EXPECT_EQ(vac.allocate(4), 1u);
+  EXPECT_EQ(vac.allocate(4), 2u);
+  EXPECT_EQ(vac.allocate(1), 13u);  // first leaf of quadrant 2
+  EXPECT_EQ(vac.max_free(), 4u);
+  vac.release(1);
+  EXPECT_EQ(vac.allocate(4), 1u);  // hole reused
+}
+
+TEST(KVacancyTest, CoalescingAcrossArity) {
+  KVacancyTree vac{KTopology(4, 1)};  // 4 leaves
+  const KNodeId a = vac.allocate(1);
+  const KNodeId b = vac.allocate(1);
+  const KNodeId c = vac.allocate(1);
+  const KNodeId d = vac.allocate(1);
+  EXPECT_FALSE(vac.can_fit(1));
+  vac.release(a);
+  vac.release(b);
+  vac.release(c);
+  EXPECT_EQ(vac.max_free(), 1u);  // not coalesced until all four free
+  vac.release(d);
+  EXPECT_EQ(vac.max_free(), 4u);
+}
+
+TEST(KCopySetTest, FirstFitAcrossCopies) {
+  KCopySet copies{KTopology(4, 1)};
+  EXPECT_EQ(copies.place(4).copy, 0u);
+  const KCopyPlacement second = copies.place(1);
+  EXPECT_EQ(second.copy, 1u);
+  EXPECT_EQ(copies.copy_count(), 2u);
+  copies.remove(second);
+  EXPECT_EQ(copies.copy_count(), 1u);
+}
+
+TEST(KCopySetTest, CeilBoundOnArrivals) {
+  const KTopology topo(4, 2);  // 16 PEs
+  KCopySet copies{topo};
+  util::Rng rng(3);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t size = 1;
+    const std::uint64_t log = rng.below(3);
+    for (std::uint64_t k = 0; k < log; ++k) size *= 4;
+    (void)copies.place(size);
+    total += size;
+    ASSERT_LE(copies.copy_count(), (total + 15) / 16);
+  }
+}
+
+}  // namespace
+}  // namespace partree::karytree

@@ -1,0 +1,115 @@
+#include "karytree/k_topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::karytree {
+namespace {
+
+TEST(KTopologyTest, QuadtreeGeometry) {
+  const KTopology t(4, 3);  // 64-PE quadtree
+  EXPECT_EQ(t.arity(), 4u);
+  EXPECT_EQ(t.height(), 3u);
+  EXPECT_EQ(t.n_leaves(), 64u);
+  EXPECT_EQ(t.n_nodes(), 1u + 4 + 16 + 64);
+}
+
+TEST(KTopologyTest, BinarySpecializationMatchesMainLibrary) {
+  const KTopology t(2, 3);  // 8 leaves
+  EXPECT_EQ(t.n_leaves(), 8u);
+  EXPECT_EQ(t.n_nodes(), 15u);
+}
+
+TEST(KTopologyTest, ParentChildRoundTrip) {
+  const KTopology t(4, 2);
+  for (KNodeId v = 0; v < t.n_nodes(); ++v) {
+    if (t.is_leaf(v)) continue;
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(t.parent(t.child(v, k)), v);
+    }
+  }
+}
+
+TEST(KTopologyTest, DepthBoundaries) {
+  const KTopology t(3, 2);  // 9 leaves, nodes 0..12
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(3), 1u);
+  EXPECT_EQ(t.depth(4), 2u);
+  EXPECT_EQ(t.depth(12), 2u);
+}
+
+TEST(KTopologyTest, SubtreeSizes) {
+  const KTopology t(4, 2);
+  EXPECT_EQ(t.subtree_size(0), 16u);
+  EXPECT_EQ(t.subtree_size(1), 4u);
+  EXPECT_EQ(t.subtree_size(5), 1u);
+}
+
+TEST(KTopologyTest, PeSpans) {
+  const KTopology t(4, 2);
+  EXPECT_EQ(t.first_pe(0), 0u);
+  EXPECT_EQ(t.end_pe(0), 16u);
+  EXPECT_EQ(t.first_pe(2), 4u);  // second quadrant
+  EXPECT_EQ(t.end_pe(2), 8u);
+  EXPECT_EQ(t.first_pe(7), 2u);  // third leaf
+}
+
+TEST(KTopologyTest, ValidSizes) {
+  const KTopology t(4, 3);
+  EXPECT_TRUE(t.valid_size(1));
+  EXPECT_TRUE(t.valid_size(4));
+  EXPECT_TRUE(t.valid_size(16));
+  EXPECT_TRUE(t.valid_size(64));
+  EXPECT_FALSE(t.valid_size(2));
+  EXPECT_FALSE(t.valid_size(8));
+  EXPECT_FALSE(t.valid_size(0));
+  EXPECT_FALSE(t.valid_size(256));
+}
+
+TEST(KTopologyTest, NodeForSizeIndex) {
+  const KTopology t(4, 2);
+  EXPECT_EQ(t.node_for(16, 0), 0u);
+  EXPECT_EQ(t.node_for(4, 0), 1u);
+  EXPECT_EQ(t.node_for(4, 3), 4u);
+  EXPECT_EQ(t.node_for(1, 0), 5u);
+  EXPECT_EQ(t.node_for(1, 15), 20u);
+  EXPECT_EQ(t.count_for_size(4), 4u);
+}
+
+TEST(KTopologyTest, IndexOfInvertsNodeFor) {
+  const KTopology t(4, 3);
+  for (std::uint64_t size : {1u, 4u, 16u, 64u}) {
+    for (std::uint64_t i = 0; i < t.count_for_size(size); ++i) {
+      EXPECT_EQ(t.index_of(t.node_for(size, i)), i);
+    }
+  }
+}
+
+TEST(KTopologyTest, Contains) {
+  const KTopology t(4, 2);
+  EXPECT_TRUE(t.contains(0, 7));
+  EXPECT_TRUE(t.contains(1, 5));   // quadrant 0 contains its first leaf
+  EXPECT_FALSE(t.contains(2, 5));  // but quadrant 1 does not
+  EXPECT_TRUE(t.contains(7, 7));
+  EXPECT_FALSE(t.contains(5, 1));
+}
+
+TEST(KTopologyTest, WithLeavesRoundsUp) {
+  const KTopology t = KTopology::with_leaves(4, 17);
+  EXPECT_EQ(t.n_leaves(), 64u);
+  const KTopology exact = KTopology::with_leaves(4, 16);
+  EXPECT_EQ(exact.n_leaves(), 16u);
+  const KTopology one = KTopology::with_leaves(4, 1);
+  EXPECT_EQ(one.n_leaves(), 1u);
+}
+
+TEST(KTopologyTest, TernaryMachine) {
+  const KTopology t(3, 3);  // 27 leaves
+  EXPECT_EQ(t.n_leaves(), 27u);
+  EXPECT_TRUE(t.valid_size(9));
+  EXPECT_FALSE(t.valid_size(4));
+  EXPECT_EQ(t.depth_for_size(9), 1u);
+}
+
+}  // namespace
+}  // namespace partree::karytree

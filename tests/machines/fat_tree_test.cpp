@@ -1,0 +1,88 @@
+#include "machines/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::machines {
+namespace {
+
+TEST(FatTreeTest, DefaultCapacityProfile) {
+  const tree::Topology topo(16);
+  const FatTreeModel model{topo};
+  // Leaf channels: min(1, 4*1) = 1.
+  EXPECT_DOUBLE_EQ(model.channel_capacity(topo.leaf_node(0)), 1.0);
+  // Depth-1 channels (subtree size 8): min(8, 4*ceil(sqrt(8))=12) = 8.
+  EXPECT_DOUBLE_EQ(model.channel_capacity(2), 8.0);
+}
+
+TEST(FatTreeTest, CustomCapacityProfile) {
+  const tree::Topology topo(8);
+  FatTreeConfig config;
+  config.capacity_by_depth = {0.0, 2.0, 3.0, 4.0};
+  const FatTreeModel model{topo, config};
+  EXPECT_DOUBLE_EQ(model.channel_capacity(2), 2.0);
+  EXPECT_DOUBLE_EQ(model.channel_capacity(4), 3.0);
+  EXPECT_DOUBLE_EQ(model.channel_capacity(8), 4.0);
+}
+
+TEST(FatTreeTest, IdleMachineHasNoCongestion) {
+  const tree::Topology topo(16);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  EXPECT_DOUBLE_EQ(model.max_congestion(state), 0.0);
+}
+
+TEST(FatTreeTest, SizeOneTasksGenerateNoTraffic) {
+  const tree::Topology topo(8);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  for (core::TaskId id = 0; id < 8; ++id) state.place({id, 1}, 8 + id);
+  EXPECT_DOUBLE_EQ(model.max_congestion(state), 0.0);
+}
+
+TEST(FatTreeTest, ChannelTrafficFromSpanningTask) {
+  const tree::Topology topo(8);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  state.place({0, 8}, 1);  // whole machine
+  // Channel above node 2 (size 4): task contributes 4/2 = 2.
+  EXPECT_DOUBLE_EQ(model.channel_traffic(state, 2), 2.0);
+  // Channel above a leaf: 1/2.
+  EXPECT_DOUBLE_EQ(model.channel_traffic(state, 8), 0.5);
+}
+
+TEST(FatTreeTest, TrafficExcludesTaskTopChannel) {
+  const tree::Topology topo(8);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  state.place({0, 4}, 2);  // left half
+  // The channel above node 2 is NOT internal to the task.
+  EXPECT_DOUBLE_EQ(model.channel_traffic(state, 2), 0.0);
+  // Channels inside the task carry traffic.
+  EXPECT_DOUBLE_EQ(model.channel_traffic(state, 4), 1.0);
+}
+
+TEST(FatTreeTest, OverlappingTasksStackTraffic) {
+  const tree::Topology topo(8);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  state.place({0, 8}, 1);
+  state.place({1, 8}, 1);
+  EXPECT_DOUBLE_EQ(model.channel_traffic(state, 2), 4.0);
+  EXPECT_GT(model.max_congestion(state), 0.0);
+}
+
+TEST(FatTreeTest, MaxCongestionMatchesManualComputation) {
+  const tree::Topology topo(16);
+  const FatTreeModel model{topo};
+  core::MachineState state{topo};
+  state.place({0, 16}, 1);
+  double worst = 0.0;
+  for (tree::NodeId v = 2; v <= topo.n_nodes(); ++v) {
+    worst = std::max(worst, model.channel_traffic(state, v) /
+                                model.channel_capacity(v));
+  }
+  EXPECT_DOUBLE_EQ(model.max_congestion(state), worst);
+}
+
+}  // namespace
+}  // namespace partree::machines

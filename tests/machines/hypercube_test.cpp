@@ -1,0 +1,79 @@
+#include "machines/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::machines {
+namespace {
+
+TEST(SubcubeTest, ContainsAndSize) {
+  Subcube cube{0b1100, 0b0100, 2};  // addresses 01**
+  EXPECT_EQ(cube.size(), 4u);
+  EXPECT_TRUE(cube.contains(0b0100));
+  EXPECT_TRUE(cube.contains(0b0111));
+  EXPECT_FALSE(cube.contains(0b1000));
+  EXPECT_FALSE(cube.contains(0b0000));
+}
+
+TEST(SubcubeTest, ToString) {
+  Subcube cube{0b1100, 0b0100, 2};
+  EXPECT_EQ(cube.to_string(), "01**");
+}
+
+TEST(HypercubeViewTest, RootIsWholeCube) {
+  const HypercubeView cube{tree::Topology(16)};
+  const Subcube whole = cube.subcube_of(1);
+  EXPECT_EQ(whole.dimension, 4u);
+  EXPECT_EQ(whole.mask, 0u);
+  EXPECT_EQ(whole.size(), 16u);
+}
+
+TEST(HypercubeViewTest, LeafIsSinglePe) {
+  const HypercubeView cube{tree::Topology(8)};
+  const Subcube leaf = cube.subcube_of(13);  // PE 5
+  EXPECT_EQ(leaf.dimension, 0u);
+  EXPECT_EQ(leaf.value, 5u);
+  EXPECT_EQ(leaf.mask, 7u);
+}
+
+TEST(HypercubeViewTest, MembersMatchTreeSpan) {
+  const tree::Topology topo(16);
+  const HypercubeView cube{topo};
+  for (tree::NodeId v = 1; v <= topo.n_nodes(); ++v) {
+    const auto members = cube.members(v);
+    ASSERT_EQ(members.size(), topo.subtree_size(v));
+    // Subcube members are exactly the PEs of the tree submachine.
+    EXPECT_EQ(members.front(), topo.first_pe(v));
+    EXPECT_EQ(members.back(), topo.end_pe(v) - 1);
+    const Subcube sc = cube.subcube_of(v);
+    for (const std::uint64_t address : members) {
+      EXPECT_TRUE(sc.contains(address));
+    }
+  }
+}
+
+TEST(HypercubeViewTest, Hamming) {
+  EXPECT_EQ(HypercubeView::hamming(0b0000, 0b0000), 0u);
+  EXPECT_EQ(HypercubeView::hamming(0b0001, 0b0000), 1u);
+  EXPECT_EQ(HypercubeView::hamming(0b1111, 0b0000), 4u);
+  EXPECT_EQ(HypercubeView::hamming(0b1010, 0b0101), 4u);
+}
+
+TEST(HypercubeViewTest, MigrationHopsSiblingBlocks) {
+  const HypercubeView cube{tree::Topology(8)};
+  // Nodes 4 and 5: size-2 blocks with prefixes 00 and 01 -> 1 bit differs,
+  // 2 PEs move: 2 hops total.
+  EXPECT_EQ(cube.migration_hops(4, 5), 2u);
+  // Nodes 4 and 7: prefixes 00 vs 11 -> 2 bits x 2 PEs.
+  EXPECT_EQ(cube.migration_hops(4, 7), 4u);
+  // Self-move costs nothing.
+  EXPECT_EQ(cube.migration_hops(6, 6), 0u);
+}
+
+TEST(HypercubeViewTest, MigrationHopsScaleWithSize) {
+  const HypercubeView cube{tree::Topology(16)};
+  // Halves of the machine: prefix differs in 1 bit, 8 PEs move.
+  EXPECT_EQ(cube.migration_hops(2, 3), 8u);
+}
+
+}  // namespace
+}  // namespace partree::machines

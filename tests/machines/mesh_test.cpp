@@ -1,0 +1,79 @@
+#include "machines/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace partree::machines {
+namespace {
+
+TEST(MeshViewTest, DimensionsSquareForEvenLog) {
+  const MeshView mesh{tree::Topology(16)};
+  EXPECT_EQ(mesh.width(), 4u);
+  EXPECT_EQ(mesh.height(), 4u);
+}
+
+TEST(MeshViewTest, DimensionsRectForOddLog) {
+  const MeshView mesh{tree::Topology(8)};
+  EXPECT_EQ(mesh.width(), 4u);
+  EXPECT_EQ(mesh.height(), 2u);
+}
+
+TEST(MeshViewTest, CoordRoundTrip) {
+  const tree::Topology topo(64);
+  const MeshView mesh{topo};
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (tree::PeId pe = 0; pe < topo.n_leaves(); ++pe) {
+    const MeshCoord c = mesh.coord_of(pe);
+    EXPECT_LT(c.x, mesh.width());
+    EXPECT_LT(c.y, mesh.height());
+    EXPECT_EQ(mesh.pe_at(c), pe);
+    EXPECT_TRUE(seen.emplace(c.x, c.y).second) << "duplicate coordinate";
+  }
+}
+
+TEST(MeshViewTest, MortonOriginIsZero) {
+  const MeshView mesh{tree::Topology(16)};
+  const MeshCoord c = mesh.coord_of(0);
+  EXPECT_EQ(c.x, 0u);
+  EXPECT_EQ(c.y, 0u);
+}
+
+TEST(MeshViewTest, BlocksAreRectangles) {
+  const tree::Topology topo(64);
+  const MeshView mesh{topo};
+  for (tree::NodeId v = 1; v <= topo.n_nodes(); ++v) {
+    const MeshBlock block = mesh.block_of(v);
+    EXPECT_EQ(block.area(), topo.subtree_size(v));
+    // Aspect ratio is 1:1 or 2:1.
+    EXPECT_TRUE(block.width == block.height ||
+                block.width == 2 * block.height);
+    // Every PE of the submachine falls inside the rectangle.
+    for (tree::PeId pe = topo.first_pe(v); pe < topo.end_pe(v); ++pe) {
+      const MeshCoord c = mesh.coord_of(pe);
+      EXPECT_GE(c.x, block.origin.x);
+      EXPECT_LT(c.x, block.origin.x + block.width);
+      EXPECT_GE(c.y, block.origin.y);
+      EXPECT_LT(c.y, block.origin.y + block.height);
+    }
+  }
+}
+
+TEST(MeshViewTest, ManhattanDistance) {
+  const MeshView mesh{tree::Topology(16)};
+  EXPECT_EQ(mesh.manhattan(0, 0), 0u);
+  // PE 0 is (0,0); PE 3 is (1,1) under Morton order.
+  EXPECT_EQ(mesh.manhattan(0, 3), 2u);
+}
+
+TEST(MeshViewTest, MigrationHops) {
+  const tree::Topology topo(16);
+  const MeshView mesh{topo};
+  // Sibling size-4 blocks are adjacent 2x2 squares.
+  const std::uint64_t hops = mesh.migration_hops(4, 5);
+  EXPECT_EQ(hops, 4u * 2u);  // 4 PEs x offset 2
+  EXPECT_EQ(mesh.migration_hops(4, 4), 0u);
+}
+
+}  // namespace
+}  // namespace partree::machines

@@ -1,0 +1,75 @@
+#include "machines/migration_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+
+namespace partree::machines {
+namespace {
+
+TEST(MigrationCostTest, SelfMoveIsFree) {
+  const tree::Topology topo(8);
+  for (const Interconnect kind :
+       {Interconnect::kTree, Interconnect::kHypercube, Interconnect::kMesh}) {
+    const MigrationCostModel model{topo, kind};
+    EXPECT_EQ(model.cost({0, 4, 4}), 0u) << to_string(kind);
+  }
+}
+
+TEST(MigrationCostTest, TreeCost) {
+  const tree::Topology topo(8);
+  const MigrationCostModel model{topo, Interconnect::kTree};
+  // Sibling size-2 blocks (nodes 4 and 5): 2 PEs x 2 hops.
+  EXPECT_EQ(model.cost({0, 4, 5}), 4u);
+  // Across the root (nodes 4 and 7): 2 PEs x 4 hops.
+  EXPECT_EQ(model.cost({0, 4, 7}), 8u);
+}
+
+TEST(MigrationCostTest, HypercubeCost) {
+  const tree::Topology topo(8);
+  const MigrationCostModel model{topo, Interconnect::kHypercube};
+  EXPECT_EQ(model.cost({0, 4, 5}), 2u);  // 1 bit x 2 PEs
+  EXPECT_EQ(model.cost({0, 4, 7}), 4u);  // 2 bits x 2 PEs
+}
+
+TEST(MigrationCostTest, BytesPerPeScalesCost) {
+  const tree::Topology topo(8);
+  const MigrationCostModel cheap{topo, Interconnect::kTree, 1};
+  const MigrationCostModel heavy{topo, Interconnect::kTree, 100};
+  EXPECT_EQ(heavy.cost({0, 4, 5}), 100 * cheap.cost({0, 4, 5}));
+}
+
+TEST(MigrationCostTest, TotalSumsList) {
+  const tree::Topology topo(8);
+  const MigrationCostModel model{topo, Interconnect::kTree};
+  const std::vector<core::Migration> migrations{{0, 4, 5}, {1, 6, 6}, {2, 4, 7}};
+  EXPECT_EQ(model.total_cost(migrations),
+            model.cost(migrations[0]) + model.cost(migrations[2]));
+}
+
+TEST(MigrationCostTest, PricingAnEngineRun) {
+  // End-to-end: hook the engine, price every reallocation of A_M(d=1).
+  const tree::Topology topo(4);
+  const MigrationCostModel model{topo, Interconnect::kTree};
+  std::uint64_t total = 0;
+  sim::EngineOptions options;
+  options.on_reallocation = [&](std::span<const core::Migration> migs) {
+    total += model.total_cost(migs);
+  };
+  sim::Engine engine(topo, options);
+  auto alloc = core::make_allocator("dmix:d=1", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(result.reallocation_count, 1u);
+  EXPECT_GT(total, 0u);  // the Figure 1 repack moves at least one task
+}
+
+TEST(MigrationCostTest, InterconnectNames) {
+  EXPECT_EQ(to_string(Interconnect::kTree), "tree");
+  EXPECT_EQ(to_string(Interconnect::kHypercube), "hypercube");
+  EXPECT_EQ(to_string(Interconnect::kMesh), "mesh");
+}
+
+}  // namespace
+}  // namespace partree::machines

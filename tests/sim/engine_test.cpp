@@ -1,0 +1,119 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::sim {
+namespace {
+
+TEST(EngineTest, CountsEvents) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(result.events, 7u);
+  EXPECT_EQ(result.arrivals, 5u);
+  EXPECT_EQ(result.departures, 2u);
+  EXPECT_EQ(result.n_pes, 4u);
+  EXPECT_EQ(result.allocator, "greedy");
+}
+
+TEST(EngineTest, EmptySequence) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  const auto result = engine.run(core::TaskSequence{}, *alloc);
+  EXPECT_EQ(result.events, 0u);
+  EXPECT_EQ(result.max_load, 0u);
+  EXPECT_EQ(result.optimal_load, 0u);
+  EXPECT_DOUBLE_EQ(result.ratio(), 1.0);
+}
+
+TEST(EngineTest, SeriesRecording) {
+  const tree::Topology topo(4);
+  Engine engine(topo, EngineOptions{.record_series = true});
+  auto alloc = core::make_allocator("greedy", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  ASSERT_EQ(result.load_series.size(), 7u);
+  EXPECT_EQ(result.load_series[0], 1u);
+  EXPECT_EQ(result.load_series.back(), 2u);  // greedy's final load
+}
+
+TEST(EngineTest, PeakHistogram) {
+  const tree::Topology topo(4);
+  Engine engine(topo, EngineOptions{.record_peak_histogram = true});
+  auto alloc = core::make_allocator("leftmost", topo);
+  core::TaskSequence seq;
+  (void)seq.arrive(1);
+  (void)seq.arrive(1);
+  const auto result = engine.run(seq, *alloc);
+  EXPECT_EQ(result.max_load, 2u);
+  EXPECT_EQ(result.peak_pe_histogram.total(), 4u);  // one entry per PE
+  EXPECT_EQ(result.peak_pe_histogram.count(2), 1u);
+  EXPECT_EQ(result.peak_pe_histogram.count(0), 3u);
+}
+
+TEST(EngineTest, ResetsAllocatorBetweenRuns) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("basic", topo);
+  const auto first = engine.run(core::figure1_sequence(), *alloc);
+  const auto second = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(first.max_load, second.max_load);
+}
+
+TEST(EngineTest, ReallocationHookObservesMigrations) {
+  const tree::Topology topo(4);
+  std::uint64_t hook_calls = 0;
+  std::uint64_t hook_migrations = 0;
+  EngineOptions options;
+  options.on_reallocation = [&](std::span<const core::Migration> migs) {
+    ++hook_calls;
+    hook_migrations += migs.size();
+  };
+  Engine engine(topo, options);
+  auto alloc = core::make_allocator("dmix:d=1", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(hook_calls, result.reallocation_count);
+  EXPECT_GE(hook_migrations, result.migration_count);
+}
+
+TEST(EngineTest, MigratedSizeCountsOnlyRealMoves) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("optimal", topo);
+  core::TaskSequence seq;
+  for (int i = 0; i < 4; ++i) (void)seq.arrive(1);
+  const auto result = engine.run(seq, *alloc);
+  // Packing keeps everything in place: no physical moves.
+  EXPECT_EQ(result.migration_count, 0u);
+  EXPECT_EQ(result.migrated_size, 0u);
+  EXPECT_EQ(result.reallocation_count, 4u);
+}
+
+TEST(EngineTest, WallClockRecorded) {
+  const tree::Topology topo(16);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  util::Rng rng(3);
+  workload::ClosedLoopParams params;
+  params.n_events = 500;
+  const auto seq = workload::closed_loop(topo, params, rng);
+  const auto result = engine.run(seq, *alloc);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(EngineDeathTest, InvalidSequenceRejected) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  core::TaskSequence bad;
+  (void)bad.arrive(8);  // larger than the machine
+  EXPECT_DEATH((void)engine.run(bad, *alloc), "invalid size");
+}
+
+}  // namespace
+}  // namespace partree::sim

@@ -1,0 +1,61 @@
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace partree::sim {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SerialMode) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ResultsWrittenToSlots) {
+  constexpr std::size_t kN = 256;
+  std::vector<std::size_t> squares(kN);
+  parallel_for(kN, [&](std::size_t i) { squares[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelForTest, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace partree::sim

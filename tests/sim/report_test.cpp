@@ -1,0 +1,87 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace partree::sim {
+namespace {
+
+SimResult sample_result() {
+  SimResult r;
+  r.allocator = "greedy";
+  r.n_pes = 64;
+  r.events = 100;
+  r.arrivals = 60;
+  r.departures = 40;
+  r.max_load = 6;
+  r.optimal_load = 2;
+  r.reallocation_count = 3;
+  r.migration_count = 12;
+  r.migrated_size = 48;
+  return r;
+}
+
+TEST(ReportTest, ResultsTableContents) {
+  const std::vector<SimResult> results{sample_result()};
+  const util::Table table = results_table(results);
+  ASSERT_EQ(table.rows(), 1u);
+  const auto& row = table.data()[0];
+  EXPECT_EQ(row[0], "greedy");
+  EXPECT_EQ(row[1], "64");
+  EXPECT_EQ(row[3], "6");
+  EXPECT_EQ(row[4], "2");
+  EXPECT_EQ(row[5], "3");  // ratio 6/2
+}
+
+TEST(ReportTest, RatioHandlesZeroOptimal) {
+  SimResult r;
+  EXPECT_DOUBLE_EQ(r.ratio(), 1.0);
+  r.max_load = 3;
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.0);  // impossible state flagged as 0
+}
+
+TEST(ReportTest, TrialsTableContents) {
+  TrialAggregate agg;
+  agg.allocator = "random";
+  agg.n_pes = 32;
+  agg.trials = 8;
+  agg.optimal_load = 2;
+  agg.expected_max_load = 5.0;
+  agg.max_expected_load = 4.0;
+  const std::vector<TrialAggregate> results{agg};
+  const util::Table table = trials_table(results);
+  ASSERT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.data()[0][0], "random");
+  EXPECT_EQ(table.data()[0][7], "2.5");  // expected ratio
+  EXPECT_EQ(table.data()[0][8], "2");    // paper ratio
+}
+
+TEST(ReportTest, WriteCsvFile) {
+  const std::string path = ::testing::TempDir() + "/partree_report_test.csv";
+  const std::vector<SimResult> results{sample_result()};
+  write_csv_file(results_table(results), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("allocator"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, EmptyPathSkipsWrite) {
+  const std::vector<SimResult> results{sample_result()};
+  EXPECT_NO_THROW(write_csv_file(results_table(results), ""));
+}
+
+TEST(ReportTest, BadPathThrows) {
+  const std::vector<SimResult> results{sample_result()};
+  EXPECT_THROW(
+      write_csv_file(results_table(results), "/nonexistent/dir/out.csv"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace partree::sim

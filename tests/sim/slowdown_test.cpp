@@ -1,0 +1,179 @@
+#include "sim/slowdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::sim {
+namespace {
+
+TEST(SlowdownTrackerTest, LoneTaskHasSlowdownOne) {
+  const tree::Topology topo(8);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 2}, 4);
+  tracker.on_arrival(0, 4, state);
+  tracker.on_departure(0, state);
+  state.remove(0);
+  ASSERT_EQ(tracker.completed().size(), 1u);
+  EXPECT_EQ(tracker.completed()[0], 1u);
+  EXPECT_EQ(tracker.worst(), 1u);
+}
+
+TEST(SlowdownTrackerTest, OverlapRaisesEarlierTask) {
+  const tree::Topology topo(8);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 8}, 1);  // whole machine
+  tracker.on_arrival(0, 1, state);
+  state.place({1, 1}, 8);  // stacks on PE 0
+  tracker.on_arrival(1, 8, state);
+  // Both tasks now see a PE of load 2.
+  tracker.on_departure(1, state);
+  state.remove(1);
+  tracker.on_departure(0, state);
+  state.remove(0);
+  EXPECT_EQ(tracker.completed()[0], 2u);
+  EXPECT_EQ(tracker.completed()[1], 2u);
+}
+
+TEST(SlowdownTrackerTest, DisjointTasksDoNotInterfere) {
+  const tree::Topology topo(8);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 4}, 2);
+  tracker.on_arrival(0, 2, state);
+  state.place({1, 4}, 3);
+  tracker.on_arrival(1, 3, state);
+  tracker.on_departure(0, state);
+  state.remove(0);
+  tracker.on_departure(1, state);
+  state.remove(1);
+  EXPECT_EQ(tracker.completed()[0], 1u);
+  EXPECT_EQ(tracker.completed()[1], 1u);
+}
+
+TEST(SlowdownTrackerTest, SlowdownPersistsAfterLoadDrops) {
+  // A task that once saw load 2 keeps slowdown 2 even after the
+  // overlapping task departs.
+  const tree::Topology topo(4);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 1}, 4);
+  tracker.on_arrival(0, 4, state);
+  state.place({1, 1}, 4);  // same PE
+  tracker.on_arrival(1, 4, state);
+  tracker.on_departure(1, state);
+  state.remove(1);
+  // Load on PE 0 is back to 1, but the history stands.
+  tracker.on_departure(0, state);
+  state.remove(0);
+  EXPECT_EQ(tracker.completed()[1], 2u);
+}
+
+TEST(SlowdownTrackerTest, ReallocationRefreshesEveryone) {
+  const tree::Topology topo(4);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 2}, 2);
+  tracker.on_arrival(0, 2, state);
+  state.place({1, 2}, 3);
+  tracker.on_arrival(1, 3, state);
+  // A "reallocation" stacks both tasks on the left half.
+  state.migrate({{1, 3, 2}});
+  tracker.on_reallocation(state);
+  EXPECT_EQ(tracker.worst(), 2u);
+}
+
+TEST(SlowdownTrackerTest, MeanOverCompleted) {
+  const tree::Topology topo(4);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 1}, 4);
+  tracker.on_arrival(0, 4, state);
+  state.place({1, 1}, 4);
+  tracker.on_arrival(1, 4, state);
+  tracker.on_departure(0, state);
+  state.remove(0);
+  tracker.on_departure(1, state);
+  state.remove(1);
+  EXPECT_DOUBLE_EQ(tracker.mean_completed(), 2.0);
+}
+
+TEST(SlowdownTrackerTest, Clear) {
+  const tree::Topology topo(4);
+  core::MachineState state{topo};
+  SlowdownTracker tracker{topo};
+  state.place({0, 1}, 4);
+  tracker.on_arrival(0, 4, state);
+  tracker.clear();
+  EXPECT_EQ(tracker.worst(), 0u);
+  EXPECT_TRUE(tracker.completed().empty());
+}
+
+TEST(SlowdownEngineTest, RecordedThroughEngine) {
+  const tree::Topology topo(4);
+  EngineOptions options;
+  options.record_slowdowns = true;
+  Engine engine(topo, options);
+  auto greedy = core::make_allocator("greedy", topo);
+  const auto result = engine.run(core::figure1_sequence(), *greedy);
+  // t2 and t4 depart at load 1; t1, t3, t5 stay active; worst is 2 after
+  // t5 stacks on the left half.
+  ASSERT_EQ(result.task_slowdowns.size(), 2u);
+  EXPECT_EQ(result.task_slowdowns[0], 1u);
+  EXPECT_EQ(result.task_slowdowns[1], 1u);
+  EXPECT_EQ(result.worst_slowdown, 2u);
+}
+
+TEST(SlowdownEngineTest, WorstSlowdownBoundedByMaxLoad) {
+  const tree::Topology topo(64);
+  util::Rng rng(9);
+  workload::ClosedLoopParams params;
+  params.n_events = 1500;
+  params.utilization = 0.85;
+  params.size = workload::SizeSpec::uniform_log(0, 6);
+  const core::TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  EngineOptions options;
+  options.record_slowdowns = true;
+  Engine engine(topo, options);
+  for (const char* spec : {"greedy", "basic", "optimal", "dmix:d=2"}) {
+    auto alloc = core::make_allocator(spec, topo);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_LE(result.worst_slowdown, result.max_load) << spec;
+    EXPECT_GE(result.worst_slowdown, 1u) << spec;
+    // Every completed task observed at least its own thread.
+    EXPECT_GE(*std::min_element(result.task_slowdowns.begin(),
+                                result.task_slowdowns.end()),
+              1u)
+        << spec;
+  }
+}
+
+TEST(SlowdownEngineTest, OptimalGivesBetterSlowdownsThanLeftmost) {
+  const tree::Topology topo(32);
+  util::Rng rng(11);
+  workload::ClosedLoopParams params;
+  params.n_events = 1000;
+  params.utilization = 0.9;
+  params.size = workload::SizeSpec::fixed_size(1);
+  const core::TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  EngineOptions options;
+  options.record_slowdowns = true;
+  Engine engine(topo, options);
+  auto optimal = core::make_allocator("optimal", topo);
+  auto leftmost = core::make_allocator("leftmost", topo);
+  const auto good = engine.run(seq, *optimal);
+  const auto bad = engine.run(seq, *leftmost);
+  EXPECT_LT(good.mean_slowdown, bad.mean_slowdown);
+}
+
+}  // namespace
+}  // namespace partree::sim

@@ -1,0 +1,74 @@
+#include "sim/trials.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+
+namespace partree::sim {
+namespace {
+
+core::TaskSequence test_sequence(const tree::Topology& topo,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  workload::ClosedLoopParams params;
+  params.n_events = 400;
+  params.utilization = 0.8;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  return workload::closed_loop(topo, params, rng);
+}
+
+TEST(TrialsTest, DeterministicAllocatorHasZeroVariance) {
+  const tree::Topology topo(32);
+  const auto seq = test_sequence(topo, 1);
+  const auto agg = run_trials(topo, seq, "greedy",
+                              TrialOptions{.trials = 4, .seed = 1});
+  EXPECT_EQ(agg.trials, 4u);
+  EXPECT_DOUBLE_EQ(agg.stddev_max_load, 0.0);
+  EXPECT_EQ(agg.min_max_load, agg.max_max_load);
+  // For a deterministic algorithm both metrics coincide.
+  EXPECT_DOUBLE_EQ(agg.expected_max_load, agg.max_expected_load);
+}
+
+TEST(TrialsTest, PaperMetricNeverExceedsPessimistic) {
+  // max_tau E[L] <= E[max_tau L] always (Jensen/max-exchange).
+  const tree::Topology topo(64);
+  const auto seq = test_sequence(topo, 2);
+  const auto agg = run_trials(topo, seq, "random",
+                              TrialOptions{.trials = 12, .seed = 7});
+  EXPECT_LE(agg.max_expected_load, agg.expected_max_load + 1e-9);
+  EXPECT_GE(agg.max_expected_load,
+            static_cast<double>(agg.optimal_load) - 1e-9);
+}
+
+TEST(TrialsTest, SeedsChangeRandomizedOutcomes) {
+  const tree::Topology topo(64);
+  const auto seq = test_sequence(topo, 3);
+  const auto agg = run_trials(topo, seq, "random",
+                              TrialOptions{.trials = 12, .seed = 1});
+  EXPECT_GT(agg.stddev_max_load + agg.expected_max_load, 0.0);
+  EXPECT_LE(agg.min_max_load, agg.max_max_load);
+}
+
+TEST(TrialsTest, SerialAndParallelAgree) {
+  const tree::Topology topo(32);
+  const auto seq = test_sequence(topo, 4);
+  const auto serial = run_trials(
+      topo, seq, "random", TrialOptions{.trials = 8, .seed = 5, .n_threads = 1});
+  const auto parallel = run_trials(
+      topo, seq, "random", TrialOptions{.trials = 8, .seed = 5, .n_threads = 4});
+  EXPECT_DOUBLE_EQ(serial.expected_max_load, parallel.expected_max_load);
+  EXPECT_DOUBLE_EQ(serial.max_expected_load, parallel.max_expected_load);
+}
+
+TEST(TrialsTest, CarriesMetadata) {
+  const tree::Topology topo(16);
+  const auto seq = test_sequence(topo, 6);
+  const auto agg = run_trials(topo, seq, "dchoice:k=2",
+                              TrialOptions{.trials = 3, .seed = 2});
+  EXPECT_EQ(agg.allocator, "dchoice(k=2)");
+  EXPECT_EQ(agg.n_pes, 16u);
+  EXPECT_EQ(agg.optimal_load, seq.optimal_load(16));
+}
+
+}  // namespace
+}  // namespace partree::sim

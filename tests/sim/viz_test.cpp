@@ -1,0 +1,70 @@
+#include "sim/viz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::sim {
+namespace {
+
+TEST(VizTest, EmptyMachineAllDots) {
+  core::MachineState state{tree::Topology(8)};
+  EXPECT_EQ(render_load_strip(state), "........");
+}
+
+TEST(VizTest, LoadsRenderAsDigits) {
+  core::MachineState state{tree::Topology(4)};
+  state.place({0, 2}, 2);
+  state.place({1, 1}, 4);
+  EXPECT_EQ(render_load_strip(state), "21..");
+}
+
+TEST(VizTest, HeavyLoadRendersHash) {
+  core::MachineState state{tree::Topology(2)};
+  for (core::TaskId id = 0; id < 12; ++id) {
+    state.place({id, 1}, 2);
+  }
+  EXPECT_EQ(render_load_strip(state), "#.");
+}
+
+TEST(VizTest, TaskRowsShowSpans) {
+  core::MachineState state{tree::Topology(8)};
+  state.place({0, 4}, 2);
+  state.place({1, 2}, 6);
+  const std::string text = render_machine(state);
+  EXPECT_NE(text.find("loads: 111111.."), std::string::npos);
+  EXPECT_NE(text.find("t0\t[====....]"), std::string::npos);
+  EXPECT_NE(text.find("t1\t[....==..]"), std::string::npos);
+}
+
+TEST(VizTest, TasksSortedLargestFirst) {
+  core::MachineState state{tree::Topology(8)};
+  state.place({5, 1}, 8);
+  state.place({7, 8}, 1);
+  const std::string text = render_machine(state);
+  EXPECT_LT(text.find("t7"), text.find("t5"));
+}
+
+TEST(VizTest, RowCapAnnounced) {
+  core::MachineState state{tree::Topology(8)};
+  for (core::TaskId id = 0; id < 6; ++id) {
+    state.place({id, 1}, 8 + id % 8);
+  }
+  VizOptions options;
+  options.max_task_rows = 2;
+  const std::string text = render_machine(state, options);
+  EXPECT_NE(text.find("4 more tasks"), std::string::npos);
+}
+
+TEST(VizTest, DownsamplesWideMachines) {
+  core::MachineState state{tree::Topology(256)};
+  state.place({0, 128}, 2);
+  VizOptions options;
+  options.max_columns = 32;
+  const std::string text = render_machine(state, options);
+  // 256 PEs in 32 columns: the strip line is exactly 32 wide.
+  const std::size_t start = text.find("loads: ") + 7;
+  const std::size_t end = text.find('\n', start);
+  EXPECT_EQ(end - start, 32u);
+}
+
+}  // namespace
+}  // namespace partree::sim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "tree/copy_set.hpp"
+#include "util/rng.hpp"
+
+namespace partree::tree {
+namespace {
+
+TEST(CopyFitTest, BestFitPicksTightestCopy) {
+  CopySet cs{Topology(8), CopyFit::kBestFit};
+  // Copy 0: leave a size-4 hole. Copy 1: leave a size-2 hole.
+  const CopyPlacement a0 = cs.place(4);  // copy0 [0,4)
+  (void)a0;
+  const CopyPlacement a1 = cs.place(4);  // copy0 [4,8) -> full
+  const CopyPlacement b0 = cs.place(4);  // copy1 [0,4)
+  const CopyPlacement b1 = cs.place(2);  // copy1 [4,6)
+  (void)b0;
+  (void)b1;
+  cs.remove(a1);  // copy0 now has max_free 4; copy1 has max_free 2
+  // A size-2 request: first-fit would take copy0; best-fit takes copy1.
+  const CopyPlacement tight = cs.place(2);
+  EXPECT_EQ(tight.copy, 1u);
+}
+
+TEST(CopyFitTest, BestFitFallsBackToNewCopy) {
+  CopySet cs{Topology(4), CopyFit::kBestFit};
+  (void)cs.place(4);
+  const CopyPlacement p = cs.place(2);
+  EXPECT_EQ(p.copy, 1u);
+  EXPECT_EQ(cs.copy_count(), 2u);
+}
+
+TEST(CopyFitTest, TieBreaksToEarliestCopy) {
+  CopySet cs{Topology(4), CopyFit::kBestFit};
+  const CopyPlacement a = cs.place(4);
+  const CopyPlacement b = cs.place(4);
+  cs.remove(a);
+  cs.remove(b);  // trailing empties trimmed -> both gone
+  EXPECT_EQ(cs.copy_count(), 0u);
+  // Two equal copies again.
+  (void)cs.place(2);          // copy0
+  const CopyPlacement c = cs.place(4);  // does not fit copy0 -> copy1
+  EXPECT_EQ(c.copy, 1u);
+  // Both copies now have max_free: copy0 -> 2, copy1 -> 0.
+  EXPECT_EQ(cs.place(2).copy, 0u);
+}
+
+TEST(CopyFitTest, RandomChurnKeepsAccounting) {
+  const Topology topo(16);
+  CopySet cs{topo, CopyFit::kBestFit};
+  util::Rng rng(71);
+  std::vector<CopyPlacement> held;
+  std::uint64_t held_size = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (held.empty() || rng.bernoulli(0.55)) {
+      const std::uint64_t size = std::uint64_t{1}
+                                 << rng.below(topo.height() + 1);
+      held.push_back(cs.place(size));
+      held_size += size;
+    } else {
+      const std::uint64_t pick = rng.below(held.size());
+      cs.remove(held[pick]);
+      held_size -= topo.subtree_size(held[pick].node);
+      held[pick] = held.back();
+      held.pop_back();
+    }
+    ASSERT_EQ(cs.used(), held_size);
+  }
+}
+
+}  // namespace
+}  // namespace partree::tree

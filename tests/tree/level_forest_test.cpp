@@ -1,0 +1,141 @@
+#include "tree/level_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/load_tree.hpp"
+#include "util/rng.hpp"
+
+namespace partree::tree {
+namespace {
+
+TEST(MinSegTreeTest, InitiallyZero) {
+  MinSegTree t(8);
+  EXPECT_EQ(t.min_value(), 0);
+  EXPECT_EQ(t.argmin(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(t.point_get(i), 0);
+}
+
+TEST(MinSegTreeTest, RangeAddAndPointGet) {
+  MinSegTree t(8);
+  t.range_add(2, 6, 3);
+  EXPECT_EQ(t.point_get(1), 0);
+  EXPECT_EQ(t.point_get(2), 3);
+  EXPECT_EQ(t.point_get(5), 3);
+  EXPECT_EQ(t.point_get(6), 0);
+  EXPECT_EQ(t.min_value(), 0);
+  EXPECT_EQ(t.argmin(), 0u);
+}
+
+TEST(MinSegTreeTest, NestedRangeAdds) {
+  MinSegTree t(8);
+  t.range_add(0, 8, 1);
+  t.range_add(0, 4, 1);
+  t.range_add(0, 2, 1);
+  EXPECT_EQ(t.point_get(0), 3);
+  EXPECT_EQ(t.point_get(2), 2);
+  EXPECT_EQ(t.point_get(4), 1);
+  EXPECT_EQ(t.min_value(), 1);
+  EXPECT_EQ(t.argmin(), 4u);
+}
+
+TEST(MinSegTreeTest, PointSetOverridesLazy) {
+  MinSegTree t(4);
+  t.range_add(0, 4, 5);
+  t.point_set(2, 1);
+  EXPECT_EQ(t.point_get(2), 1);
+  EXPECT_EQ(t.point_get(1), 5);
+  EXPECT_EQ(t.min_value(), 1);
+  EXPECT_EQ(t.argmin(), 2u);
+  // A later range add still applies on top of the set value.
+  t.range_add(0, 4, 2);
+  EXPECT_EQ(t.point_get(2), 3);
+}
+
+TEST(MinSegTreeTest, ArgminPrefersLeftmost) {
+  MinSegTree t(8);
+  t.range_add(0, 8, 7);
+  t.range_add(3, 4, -7);
+  t.range_add(6, 7, -7);
+  EXPECT_EQ(t.min_value(), 0);
+  EXPECT_EQ(t.argmin(), 3u);
+}
+
+TEST(MinSegTreeTest, SingleElement) {
+  MinSegTree t(1);
+  t.range_add(0, 1, 4);
+  EXPECT_EQ(t.point_get(0), 4);
+  EXPECT_EQ(t.argmin(), 0u);
+  t.point_set(0, -2);
+  EXPECT_EQ(t.min_value(), -2);
+}
+
+TEST(LevelForestTest, MirrorsSimpleAssignments) {
+  const Topology topo(8);
+  LevelForest f(topo);
+  EXPECT_EQ(f.max_load(), 0u);
+  f.assign(2);
+  EXPECT_EQ(f.max_load(), 1u);
+  EXPECT_EQ(f.subtree_max(2), 1u);
+  EXPECT_EQ(f.subtree_max(3), 0u);
+  EXPECT_EQ(f.min_load_node(4), 3u);
+  f.release(2);
+  EXPECT_EQ(f.max_load(), 0u);
+}
+
+TEST(LevelForestTest, Clear) {
+  const Topology topo(4);
+  LevelForest f(topo);
+  f.assign(1);
+  f.clear();
+  EXPECT_EQ(f.max_load(), 0u);
+  EXPECT_EQ(f.min_load_node(2), 2u);
+}
+
+class LevelForestRandomized : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LevelForestRandomized, AgreesWithLoadTree) {
+  const std::uint64_t n = GetParam();
+  const Topology topo(n);
+  LevelForest forest(topo);
+  LoadTree reference(topo);
+  util::Rng rng(n * 31 + 7);
+
+  std::vector<NodeId> assigned;
+  for (int step = 0; step < 800; ++step) {
+    if (assigned.empty() || rng.bernoulli(0.6)) {
+      const std::uint32_t log =
+          static_cast<std::uint32_t>(rng.below(topo.height() + 1));
+      const std::uint64_t size = std::uint64_t{1} << log;
+      const NodeId v =
+          topo.node_for(size, rng.below(topo.count_for_size(size)));
+      forest.assign(v);
+      reference.assign(v);
+      assigned.push_back(v);
+    } else {
+      const std::uint64_t pick = rng.below(assigned.size());
+      const NodeId v = assigned[pick];
+      assigned[pick] = assigned.back();
+      assigned.pop_back();
+      forest.release(v);
+      reference.release(v);
+    }
+
+    ASSERT_EQ(forest.max_load(), reference.max_load()) << "step " << step;
+    const NodeId probe = 1 + rng.below(topo.n_nodes());
+    ASSERT_EQ(forest.subtree_max(probe), reference.subtree_max(probe));
+    const std::uint32_t qlog =
+        static_cast<std::uint32_t>(rng.below(topo.height() + 1));
+    const std::uint64_t qsize = std::uint64_t{1} << qlog;
+    ASSERT_EQ(forest.min_load_node(qsize), reference.min_load_node(qsize))
+        << "query size " << qsize << " at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LevelForestRandomized,
+                         ::testing::Values(1, 2, 4, 16, 64, 128));
+
+}  // namespace
+}  // namespace partree::tree

@@ -1,0 +1,88 @@
+// Exhaustive invariants of the index geometry, swept over machine sizes.
+#include <gtest/gtest.h>
+
+#include "tree/topology.hpp"
+
+namespace partree::tree {
+namespace {
+
+class TopologyProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Topology topo_{GetParam()};
+};
+
+TEST_P(TopologyProperty, ParentChildRoundTrip) {
+  for (NodeId v = 1; v <= topo_.n_nodes(); ++v) {
+    if (!topo_.is_leaf(v)) {
+      EXPECT_EQ(Topology::parent(Topology::left(v)), v);
+      EXPECT_EQ(Topology::parent(Topology::right(v)), v);
+      EXPECT_EQ(topo_.depth(Topology::left(v)), topo_.depth(v) + 1);
+    }
+  }
+}
+
+TEST_P(TopologyProperty, SubtreeSizesHalve) {
+  for (NodeId v = 1; v <= topo_.n_nodes(); ++v) {
+    if (topo_.is_leaf(v)) {
+      EXPECT_EQ(topo_.subtree_size(v), 1u);
+    } else {
+      EXPECT_EQ(topo_.subtree_size(Topology::left(v)),
+                topo_.subtree_size(v) / 2);
+    }
+  }
+}
+
+TEST_P(TopologyProperty, PeSpansPartitionEachLevel) {
+  for (std::uint32_t d = 0; d <= topo_.height(); ++d) {
+    std::uint64_t covered = 0;
+    const std::uint64_t size = topo_.n_leaves() >> d;
+    for (std::uint64_t i = 0; i < topo_.count_for_size(size); ++i) {
+      const NodeId v = topo_.node_for(size, i);
+      EXPECT_EQ(topo_.first_pe(v), covered);
+      covered = topo_.end_pe(v);
+    }
+    EXPECT_EQ(covered, topo_.n_leaves()) << "depth " << d;
+  }
+}
+
+TEST_P(TopologyProperty, ContainsMatchesPeIntervals) {
+  for (NodeId a = 1; a <= topo_.n_nodes(); ++a) {
+    for (NodeId b = 1; b <= topo_.n_nodes(); ++b) {
+      const bool interval = topo_.first_pe(a) <= topo_.first_pe(b) &&
+                            topo_.end_pe(b) <= topo_.end_pe(a);
+      const bool deeper = topo_.depth(b) >= topo_.depth(a);
+      EXPECT_EQ(topo_.contains(a, b), interval && deeper)
+          << a << " " << b;
+    }
+  }
+}
+
+TEST_P(TopologyProperty, HopDistanceIsAMetric) {
+  // Symmetry, identity, and the triangle inequality over a sample.
+  const std::uint64_t step = topo_.n_nodes() < 32 ? 1 : topo_.n_nodes() / 16;
+  for (NodeId a = 1; a <= topo_.n_nodes(); a += step) {
+    EXPECT_EQ(topo_.hop_distance(a, a), 0u);
+    for (NodeId b = 1; b <= topo_.n_nodes(); b += step) {
+      EXPECT_EQ(topo_.hop_distance(a, b), topo_.hop_distance(b, a));
+      for (NodeId c = 1; c <= topo_.n_nodes(); c += step) {
+        EXPECT_LE(topo_.hop_distance(a, c),
+                  topo_.hop_distance(a, b) + topo_.hop_distance(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(TopologyProperty, LeafNodesCoverAllPes) {
+  for (PeId pe = 0; pe < topo_.n_leaves(); ++pe) {
+    const NodeId v = topo_.leaf_node(pe);
+    EXPECT_TRUE(topo_.is_leaf(v));
+    EXPECT_EQ(topo_.first_pe(v), pe);
+    EXPECT_EQ(topo_.subtree_size(v), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace partree::tree

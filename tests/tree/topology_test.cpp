@@ -1,0 +1,124 @@
+#include "tree/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::tree {
+namespace {
+
+TEST(TopologyTest, BasicGeometry) {
+  const Topology t(8);
+  EXPECT_EQ(t.n_leaves(), 8u);
+  EXPECT_EQ(t.height(), 3u);
+  EXPECT_EQ(t.n_nodes(), 15u);
+}
+
+TEST(TopologyTest, SingleLeafMachine) {
+  const Topology t(1);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.n_nodes(), 1u);
+  EXPECT_TRUE(t.is_leaf(1));
+  EXPECT_EQ(t.subtree_size(1), 1u);
+}
+
+TEST(TopologyTest, ParentChildRelations) {
+  EXPECT_EQ(Topology::parent(6), 3u);
+  EXPECT_EQ(Topology::left(3), 6u);
+  EXPECT_EQ(Topology::right(3), 7u);
+  EXPECT_EQ(Topology::root(), 1u);
+}
+
+TEST(TopologyTest, DepthAndSize) {
+  const Topology t(16);
+  EXPECT_EQ(t.depth(1), 0u);
+  EXPECT_EQ(t.subtree_size(1), 16u);
+  EXPECT_EQ(t.depth(2), 1u);
+  EXPECT_EQ(t.subtree_size(2), 8u);
+  EXPECT_EQ(t.depth(16), 4u);
+  EXPECT_EQ(t.subtree_size(16), 1u);
+  EXPECT_EQ(t.depth(31), 4u);
+}
+
+TEST(TopologyTest, Leaves) {
+  const Topology t(8);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_FALSE(t.is_leaf(v));
+  for (NodeId v = 8; v < 16; ++v) EXPECT_TRUE(t.is_leaf(v));
+  EXPECT_EQ(t.leaf_node(0), 8u);
+  EXPECT_EQ(t.leaf_node(7), 15u);
+}
+
+TEST(TopologyTest, PeSpans) {
+  const Topology t(8);
+  EXPECT_EQ(t.first_pe(1), 0u);
+  EXPECT_EQ(t.end_pe(1), 8u);
+  EXPECT_EQ(t.first_pe(2), 0u);
+  EXPECT_EQ(t.end_pe(2), 4u);
+  EXPECT_EQ(t.first_pe(3), 4u);
+  EXPECT_EQ(t.end_pe(3), 8u);
+  EXPECT_EQ(t.first_pe(13), 5u);
+  EXPECT_EQ(t.end_pe(13), 6u);
+}
+
+TEST(TopologyTest, Contains) {
+  const Topology t(8);
+  EXPECT_TRUE(t.contains(1, 13));
+  EXPECT_TRUE(t.contains(3, 13));
+  EXPECT_TRUE(t.contains(6, 13));
+  EXPECT_TRUE(t.contains(13, 13));
+  EXPECT_FALSE(t.contains(2, 13));
+  EXPECT_FALSE(t.contains(13, 6));
+  EXPECT_FALSE(t.contains(7, 13));
+}
+
+TEST(TopologyTest, DepthForSize) {
+  const Topology t(16);
+  EXPECT_EQ(t.depth_for_size(16), 0u);
+  EXPECT_EQ(t.depth_for_size(8), 1u);
+  EXPECT_EQ(t.depth_for_size(1), 4u);
+}
+
+TEST(TopologyTest, NodeForSizeIndex) {
+  const Topology t(8);
+  EXPECT_EQ(t.count_for_size(2), 4u);
+  EXPECT_EQ(t.node_for(2, 0), 4u);
+  EXPECT_EQ(t.node_for(2, 3), 7u);
+  EXPECT_EQ(t.node_for(8, 0), 1u);
+  EXPECT_EQ(t.node_for(1, 5), 13u);
+}
+
+TEST(TopologyTest, IndexOfInvertsNodeFor) {
+  const Topology t(32);
+  for (std::uint64_t size : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (std::uint64_t i = 0; i < t.count_for_size(size); ++i) {
+      EXPECT_EQ(t.index_of(t.node_for(size, i)), i);
+    }
+  }
+}
+
+TEST(TopologyTest, NodesOfSize) {
+  const Topology t(8);
+  const auto nodes = t.nodes_of_size(4);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 2u);
+  EXPECT_EQ(nodes[1], 3u);
+}
+
+TEST(TopologyTest, HopDistance) {
+  const Topology t(8);
+  EXPECT_EQ(t.hop_distance(8, 8), 0u);
+  EXPECT_EQ(t.hop_distance(8, 9), 2u);    // siblings via their parent
+  EXPECT_EQ(t.hop_distance(8, 15), 6u);   // opposite corners via root
+  EXPECT_EQ(t.hop_distance(4, 2), 1u);    // child to parent
+  EXPECT_EQ(t.hop_distance(2, 3), 2u);    // siblings at depth 1
+  EXPECT_EQ(t.hop_distance(8, 1), 3u);    // leaf to root
+}
+
+TEST(TopologyTest, ValidRange) {
+  const Topology t(4);
+  EXPECT_FALSE(t.valid(0));
+  EXPECT_TRUE(t.valid(1));
+  EXPECT_TRUE(t.valid(7));
+  EXPECT_FALSE(t.valid(8));
+}
+
+}  // namespace
+}  // namespace partree::tree

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace partree::util {
+namespace {
+
+bool parse(Cli& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliTest, DefaultsApply) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_u64("n"), 64u);
+  EXPECT_TRUE(cli.has("n"));
+}
+
+TEST(CliTest, SpaceSeparatedValue) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  ASSERT_TRUE(parse(cli, {"--n", "128"}));
+  EXPECT_EQ(cli.get_u64("n"), 128u);
+}
+
+TEST(CliTest, EqualsValue) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  ASSERT_TRUE(parse(cli, {"--n=256"}));
+  EXPECT_EQ(cli.get_u64("n"), 256u);
+}
+
+TEST(CliTest, Flags) {
+  Cli cli;
+  cli.flag("verbose", "talk more");
+  ASSERT_TRUE(parse(cli, {"--verbose"}));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+
+  Cli cli2;
+  cli2.flag("verbose", "talk more");
+  ASSERT_TRUE(parse(cli2, {}));
+  EXPECT_FALSE(cli2.get_flag("verbose"));
+}
+
+TEST(CliTest, UnknownOptionRejected) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  EXPECT_FALSE(parse(cli, {"--typo", "3"}));
+}
+
+TEST(CliTest, MissingValueRejected) {
+  Cli cli;
+  cli.option("n", "machine size");
+  EXPECT_FALSE(parse(cli, {"--n"}));
+}
+
+TEST(CliTest, PositionalRejected) {
+  Cli cli;
+  EXPECT_FALSE(parse(cli, {"stray"}));
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  EXPECT_FALSE(parse(cli, {"--help"}));
+}
+
+TEST(CliTest, DoubleValues) {
+  Cli cli;
+  cli.option("rate", "arrival rate", "1.5");
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+}
+
+TEST(CliTest, MalformedNumberThrows) {
+  Cli cli;
+  cli.option("n", "machine size", "abc");
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_THROW((void)cli.get_u64("n"), std::invalid_argument);
+}
+
+TEST(CliTest, U64List) {
+  Cli cli;
+  cli.option("sizes", "size list", "1,2,4");
+  ASSERT_TRUE(parse(cli, {}));
+  const auto sizes = cli.get_u64_list("sizes");
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[2], 4u);
+}
+
+TEST(CliTest, UsageMentionsOptions) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  cli.flag("csv", "emit csv");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("machine size"), std::string::npos);
+  EXPECT_NE(usage.find("default: 64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partree::util

@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace partree::util {
+namespace {
+
+TEST(CsvTest, EscapePlainField) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvTest, EscapeComma) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, EscapeQuote) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, WriteRow) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvTest, RowOfMixedTypes) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row_of("name", 42, 1.5);
+  EXPECT_EQ(out.str(), "name,42,1.5\n");
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  const auto fields = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, ParseToleratesCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> original{"x,y", "with \"quotes\"", "plain"};
+  writer.row(original);
+  std::string line = out.str();
+  line.pop_back();  // drop trailing newline
+  EXPECT_EQ(parse_csv_line(line), original);
+}
+
+TEST(CsvTest, ReadCsvSkipsBlankLines) {
+  std::istringstream in("a,b\n\nc,d\n   \n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+}  // namespace
+}  // namespace partree::util

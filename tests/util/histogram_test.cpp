@@ -1,0 +1,95 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace partree::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram h;
+  h.add(0);
+  h.add(2);
+  h.add(2);
+  h.add(5, 3);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(5), 3u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_EQ(h.max_value(), 5u);
+}
+
+TEST(HistogramTest, Mean) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, Quantile) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 10; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.1), 0u);
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  a.add(1);
+  a.add(3);
+  Histogram b;
+  b.add(3);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(3), 2u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.max_value(), 7u);
+}
+
+TEST(HistogramTest, Clear) {
+  Histogram h;
+  h.add(4);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(4), 0u);
+}
+
+TEST(HistogramTest, RenderProducesRows) {
+  Histogram h;
+  h.add(0, 5);
+  h.add(1, 2);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("load 0"), std::string::npos);
+  EXPECT_NE(text.find("load 1"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RenderCapsRows) {
+  Histogram h;
+  h.add(50);
+  const std::string text = h.render(/*max_rows=*/5);
+  EXPECT_NE(text.find("more bins"), std::string::npos);
+}
+
+TEST(HistogramTest, HistogramOfVector) {
+  const std::vector<std::uint64_t> values{1, 1, 2, 0};
+  const Histogram h = histogram_of(values);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+}  // namespace
+}  // namespace partree::util

@@ -1,0 +1,117 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace partree::util {
+namespace {
+
+TEST(MathTest, IsPow2RecognisesPowers) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(MathTest, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(UINT64_MAX), 63u);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(MathTest, ExactLog2OfPowers) {
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(exact_log2(std::uint64_t{1} << k), k);
+  }
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(ceil_div(9, 4), 3u);
+}
+
+TEST(MathTest, Pow2FloorCeil) {
+  EXPECT_EQ(pow2_floor(1), 1u);
+  EXPECT_EQ(pow2_floor(5), 4u);
+  EXPECT_EQ(pow2_floor(8), 8u);
+  EXPECT_EQ(pow2_ceil(1), 1u);
+  EXPECT_EQ(pow2_ceil(5), 8u);
+  EXPECT_EQ(pow2_ceil(8), 8u);
+}
+
+TEST(MathTest, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(10, 0), 1u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(0, 5), 0u);
+  EXPECT_EQ(ipow(0, 0), 1u);
+}
+
+TEST(MathTest, DetUpperFactorMatchesPaper) {
+  // min{d+1, ceil((log N + 1)/2)}
+  EXPECT_EQ(det_upper_factor(1024, 0), 1u);          // d=0: optimal
+  EXPECT_EQ(det_upper_factor(1024, 2), 3u);          // d+1
+  EXPECT_EQ(det_upper_factor(1024, 100), 6u);        // greedy cap: ceil(11/2)
+  EXPECT_EQ(det_upper_factor(1024, 0, true), 6u);    // d = infinity
+  EXPECT_EQ(det_upper_factor(4, 100), 2u);           // ceil(3/2) = 2
+  EXPECT_EQ(det_upper_factor(2, 100), 1u);           // ceil(2/2) = 1
+}
+
+TEST(MathTest, DetLowerFactorMatchesPaper) {
+  // ceil((min{d, log N} + 1)/2)
+  EXPECT_EQ(det_lower_factor(1024, 0), 1u);
+  EXPECT_EQ(det_lower_factor(1024, 3), 2u);
+  EXPECT_EQ(det_lower_factor(1024, 100), 6u);        // min is log N = 10
+  EXPECT_EQ(det_lower_factor(1024, 0, true), 6u);
+}
+
+TEST(MathTest, UpperAndLowerFactorsWithinTwo) {
+  // The paper: bounds are tight within a factor of 2.
+  for (std::uint64_t log_n = 1; log_n <= 20; ++log_n) {
+    const std::uint64_t n = std::uint64_t{1} << log_n;
+    for (std::uint64_t d = 0; d <= 24; ++d) {
+      const auto upper = static_cast<double>(det_upper_factor(n, d));
+      const auto lower = static_cast<double>(det_lower_factor(n, d));
+      EXPECT_LE(lower, upper) << "N=" << n << " d=" << d;
+      EXPECT_LE(upper, 2.0 * lower) << "N=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(MathTest, RandomizedFactors) {
+  // 3 log N / log log N + 1 at N = 2^16: log N = 16, log log N = 4.
+  EXPECT_DOUBLE_EQ(rand_upper_factor(std::uint64_t{1} << 16), 13.0);
+  // (1/7)(16/4)^(1/3) at N = 2^16.
+  EXPECT_NEAR(rand_lower_factor(std::uint64_t{1} << 16),
+              std::cbrt(4.0) / 7.0, 1e-12);
+  // Upper bound dominates lower bound everywhere we simulate.
+  for (std::uint32_t log_n = 2; log_n <= 24; ++log_n) {
+    const std::uint64_t n = std::uint64_t{1} << log_n;
+    EXPECT_GT(rand_upper_factor(n), rand_lower_factor(n));
+  }
+}
+
+}  // namespace
+}  // namespace partree::util

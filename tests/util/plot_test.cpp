@@ -1,0 +1,91 @@
+#include "util/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace partree::util {
+namespace {
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(PlotTest, LinePlotShape) {
+  const std::vector<double> ys{0.0, 1.0, 2.0, 3.0};
+  PlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  const std::string text = line_plot(ys, options);
+  EXPECT_EQ(count_lines(text), 6u);  // height rows + axis
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(PlotTest, RisingSeriesPutsMarkerTopRight) {
+  const std::vector<double> ys{0.0, 10.0};
+  PlotOptions options;
+  options.width = 10;
+  options.height = 4;
+  const std::string text = line_plot(ys, options);
+  // First canvas row (max value) must contain the marker near the right.
+  const std::size_t first_newline = text.find('\n');
+  const std::string top = text.substr(0, first_newline);
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_EQ(top.back(), '*');
+}
+
+TEST(PlotTest, EmptySeriesStillRenders) {
+  const std::string text = line_plot({});
+  EXPECT_GT(count_lines(text), 2u);
+}
+
+TEST(PlotTest, ConstantSeries) {
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const std::string text = line_plot(ys);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+TEST(PlotTest, ZeroBasedAxisIncludesZeroLabel) {
+  const std::vector<double> ys{8.0, 9.0, 10.0};
+  PlotOptions options;
+  options.height = 3;
+  const std::string text = line_plot(ys, options);
+  EXPECT_NE(text.find("0 |"), std::string::npos);
+}
+
+TEST(PlotTest, NonZeroBasedTightensRange) {
+  const std::vector<double> ys{8.0, 9.0, 10.0};
+  PlotOptions options;
+  options.height = 3;
+  options.zero_based = false;
+  const std::string text = line_plot(ys, options);
+  EXPECT_NE(text.find("8 |"), std::string::npos);
+}
+
+TEST(PlotTest, MultiPlotLegendAndMarkers) {
+  const std::vector<std::pair<std::string, std::vector<double>>> series{
+      {"measured", {1.0, 2.0, 3.0}},
+      {"bound", {2.0, 3.0, 4.0}},
+  };
+  const std::string text = multi_plot(series);
+  EXPECT_NE(text.find("* = measured"), std::string::npos);
+  EXPECT_NE(text.find("a = bound"), std::string::npos);
+  EXPECT_NE(text.find('a'), std::string::npos);
+}
+
+TEST(PlotTest, MultiPlotDifferentLengths) {
+  const std::vector<std::pair<std::string, std::vector<double>>> series{
+      {"short", {1.0, 2.0}},
+      {"long", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}},
+  };
+  EXPECT_NO_THROW((void)multi_plot(series));
+}
+
+}  // namespace
+}  // namespace partree::util

@@ -1,0 +1,144 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace partree::util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  bool low_seen = false;
+  bool high_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    low_seen |= (v == 5);
+    high_seen |= (v == 9);
+  }
+  EXPECT_TRUE(low_seen);
+  EXPECT_TRUE(high_seen);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.15);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 3.0), 3.0);
+  }
+}
+
+TEST(RngTest, PoissonSmallRateMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kDraws, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeRateMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / kDraws, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroRate) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent_again(41);
+  (void)parent_again();  // split consumed one draw
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent_again()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitmixIsStateless) {
+  std::uint64_t s1 = 99;
+  std::uint64_t s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace partree::util

@@ -1,0 +1,79 @@
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace partree::util {
+namespace {
+
+TEST(StrTest, SplitBasic) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StrTest, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StrTest, SplitSingleField) {
+  const auto fields = split("solo", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "solo");
+}
+
+TEST(StrTest, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t x \n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(StrTest, ParseU64Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64(" 7 "), 7u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(StrTest, ParseU64Invalid) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("abc").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+  EXPECT_FALSE(parse_u64("1.5").has_value());
+}
+
+TEST(StrTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*parse_double(" 3e2 "), 300.0);
+}
+
+TEST(StrTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("x").has_value());
+  EXPECT_FALSE(parse_double("1.5y").has_value());
+}
+
+TEST(StrTest, FormatDouble) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+}  // namespace
+}  // namespace partree::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace partree::util {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("beta", 22);
+  std::ostringstream out;
+  t.print(out, "My Table");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My Table"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add(1);
+  t.add(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, MixedTypesStringify) {
+  Table t({"s", "i", "d", "b"});
+  t.add("x", 7, 2.5, true);
+  EXPECT_EQ(t.data()[0][0], "x");
+  EXPECT_EQ(t.data()[0][1], "7");
+  EXPECT_EQ(t.data()[0][2], "2.5");
+  EXPECT_EQ(t.data()[0][3], "yes");
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add("x,y", 1);
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n\"x,y\",1\n");
+}
+
+TEST(TableTest, ColumnAlignment) {
+  Table t({"col"});
+  t.add("longvalue");
+  t.add(1);
+  std::ostringstream out;
+  t.print(out);
+  // Numeric cell right-aligned to the width of "longvalue".
+  EXPECT_NE(out.str().find("        1"), std::string::npos);
+}
+
+TEST(TableDeathTest, MismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace partree::util

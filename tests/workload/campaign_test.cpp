@@ -1,0 +1,54 @@
+#include "workload/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace partree::workload {
+namespace {
+
+TEST(CampaignTest, AllNamedCampaignsAreValid) {
+  const tree::Topology topo(64);
+  for (const std::string& name : campaign_names()) {
+    util::Rng rng(7);
+    const core::TaskSequence seq = make_campaign(name, topo, rng);
+    EXPECT_EQ(seq.validate(64), "") << name;
+    EXPECT_FALSE(seq.empty()) << name;
+  }
+}
+
+TEST(CampaignTest, UnknownNameThrows) {
+  const tree::Topology topo(16);
+  util::Rng rng(1);
+  EXPECT_THROW((void)make_campaign("no-such-campaign", topo, rng),
+               std::invalid_argument);
+}
+
+TEST(CampaignTest, ScaleGrowsEventCount) {
+  const tree::Topology topo(32);
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const auto small = make_campaign("steady-mix", topo, rng1, 0.5);
+  const auto large = make_campaign("steady-mix", topo, rng2, 2.0);
+  EXPECT_GT(large.size(), small.size());
+}
+
+TEST(CampaignTest, DeterministicGivenSeed) {
+  const tree::Topology topo(32);
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  EXPECT_EQ(make_campaign("heavy-tail", topo, rng1),
+            make_campaign("heavy-tail", topo, rng2));
+}
+
+TEST(CampaignTest, WorksOnTinyMachine) {
+  const tree::Topology topo(2);
+  for (const std::string& name : campaign_names()) {
+    util::Rng rng(3);
+    const core::TaskSequence seq = make_campaign(name, topo, rng, 0.2);
+    EXPECT_EQ(seq.validate(2), "") << name;
+  }
+}
+
+}  // namespace
+}  // namespace partree::workload

@@ -1,0 +1,93 @@
+#include "workload/sizes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/math.hpp"
+
+namespace partree::workload {
+namespace {
+
+TEST(SizeSpecTest, FixedAlwaysSame) {
+  util::Rng rng(1);
+  const SizeSpec spec = SizeSpec::fixed_size(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(spec.sample(rng, 64), 4u);
+  }
+}
+
+TEST(SizeSpecTest, FixedClampedToMachine) {
+  util::Rng rng(1);
+  const SizeSpec spec = SizeSpec::fixed_size(64);
+  EXPECT_EQ(spec.sample(rng, 16), 16u);
+}
+
+TEST(SizeSpecTest, UniformLogRange) {
+  util::Rng rng(2);
+  const SizeSpec spec = SizeSpec::uniform_log(1, 3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t s = spec.sample(rng, 64);
+    EXPECT_TRUE(s == 2 || s == 4 || s == 8) << s;
+    ++counts[s];
+  }
+  // Roughly uniform over the three classes.
+  for (const auto& [size, count] : counts) {
+    EXPECT_GT(count, 800) << size;
+  }
+}
+
+TEST(SizeSpecTest, GeometricDecays) {
+  util::Rng rng(3);
+  const SizeSpec spec = SizeSpec::geometric(0.5, 6);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[spec.sample(rng, 64)];
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[2], counts[8]);
+  // All sizes are powers of two within the cap.
+  for (const auto& [size, count] : counts) {
+    (void)count;
+    EXPECT_TRUE(util::is_pow2(size));
+    EXPECT_LE(size, 64u);
+  }
+}
+
+TEST(SizeSpecTest, GeometricZeroPIsAlwaysOne) {
+  util::Rng rng(4);
+  const SizeSpec spec = SizeSpec::geometric(0.0, 6);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(spec.sample(rng, 64), 1u);
+}
+
+TEST(SizeSpecTest, ZipfFavorsSmall) {
+  util::Rng rng(5);
+  const SizeSpec spec = SizeSpec::zipf_log(1.5, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[spec.sample(rng, 32)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[8]);
+}
+
+TEST(SizeSpecTest, ZipfThetaZeroIsUniform) {
+  util::Rng rng(6);
+  const SizeSpec spec = SizeSpec::zipf_log(0.0, 3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[spec.sample(rng, 8)];
+  for (std::uint64_t s : {1u, 2u, 4u, 8u}) {
+    EXPECT_GT(counts[s], 1500) << s;
+  }
+}
+
+TEST(SizeSpecTest, DescribeMentionsKind) {
+  EXPECT_NE(SizeSpec::fixed_size(2).describe().find("fixed"),
+            std::string::npos);
+  EXPECT_NE(SizeSpec::uniform_log(0, 3).describe().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(SizeSpec::geometric(0.5, 3).describe().find("geometric"),
+            std::string::npos);
+  EXPECT_NE(SizeSpec::zipf_log(1.0, 3).describe().find("zipf"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace partree::workload

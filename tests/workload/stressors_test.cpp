@@ -1,0 +1,76 @@
+#include "workload/stressors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+
+namespace partree::workload {
+namespace {
+
+TEST(FillDrainTest, ShapeAndOptimum) {
+  const tree::Topology topo(16);
+  const core::TaskSequence seq = fill_drain(topo, 1, 3);
+  EXPECT_EQ(seq.validate(16), "");
+  EXPECT_EQ(seq.arrival_count(), 48u);
+  EXPECT_EQ(seq.peak_active_size(), 16u);
+  EXPECT_EQ(seq.optimal_load(16), 1u);
+}
+
+TEST(FillDrainTest, LargerBlocks) {
+  const tree::Topology topo(16);
+  const core::TaskSequence seq = fill_drain(topo, 8, 2);
+  EXPECT_EQ(seq.validate(16), "");
+  EXPECT_EQ(seq.arrival_count(), 4u);
+}
+
+TEST(FillDrainTest, AnyAllocatorStaysOptimal) {
+  // Full drain between rounds means even the naive allocators never
+  // stack load.
+  const tree::Topology topo(16);
+  const core::TaskSequence seq = fill_drain(topo, 1, 4);
+  sim::Engine engine(topo);
+  for (const char* spec : {"greedy", "basic", "optimal", "roundrobin"}) {
+    auto alloc = core::make_allocator(spec, topo);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_EQ(result.max_load, 1u) << spec;
+  }
+}
+
+TEST(StaircaseTest, UnitOptimalButFragmenting) {
+  const tree::Topology topo(64);
+  const core::TaskSequence seq = staircase(topo, topo.height());
+  EXPECT_EQ(seq.validate(64), "");
+  EXPECT_LE(seq.peak_active_size(), 64u);
+  EXPECT_EQ(seq.optimal_load(64), 1u);
+}
+
+TEST(StaircaseTest, PunishesNoReallocAllocators) {
+  const tree::Topology topo(256);
+  const core::TaskSequence seq = staircase(topo, topo.height());
+  sim::Engine engine(topo);
+  auto greedy = core::make_allocator("greedy", topo);
+  const auto result = engine.run(seq, *greedy);
+  // Fragmentation should cost strictly more than the optimum...
+  EXPECT_GE(result.max_load, 2u);
+  // ...while the optimal reallocating algorithm shrugs it off.
+  auto optimal = core::make_allocator("optimal", topo);
+  EXPECT_EQ(engine.run(seq, *optimal).max_load, 1u);
+}
+
+TEST(StaircaseTest, ZeroPhasesIsEmpty) {
+  const tree::Topology topo(8);
+  EXPECT_TRUE(staircase(topo, 0).empty());
+}
+
+TEST(ChurnTest, ValidAndDrains) {
+  const tree::Topology topo(32);
+  const core::TaskSequence seq = churn(topo, 10);
+  EXPECT_EQ(seq.validate(32), "");
+  EXPECT_EQ(seq.active_size_after(seq.size()), 0u);
+  // One task of each size 1..N/2 per round: peak under N.
+  EXPECT_LT(seq.peak_active_size(), 32u);
+}
+
+}  // namespace
+}  // namespace partree::workload

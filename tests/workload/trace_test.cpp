@@ -1,0 +1,80 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/synthetic.hpp"
+
+namespace partree::workload {
+namespace {
+
+TEST(TraceTest, RoundTripThroughStream) {
+  const tree::Topology topo(32);
+  util::Rng rng(1);
+  ClosedLoopParams params;
+  params.n_events = 300;
+  params.size = SizeSpec::uniform_log(0, 5);
+  const core::TaskSequence original = closed_loop(topo, params, rng);
+
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const core::TaskSequence loaded = read_trace(buffer);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceTest, EmptySequence) {
+  std::stringstream buffer;
+  write_trace(core::TaskSequence{}, buffer);
+  const core::TaskSequence loaded = read_trace(buffer);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceTest, HeaderOptionalOnRead) {
+  std::istringstream in("arrive,0,4\ndepart,0,\n");
+  const core::TaskSequence seq = read_trace(in);
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0].task.size, 4u);
+  EXPECT_EQ(seq[1].kind, core::EventKind::kDeparture);
+}
+
+TEST(TraceTest, RejectsBadKind) {
+  std::istringstream in("kind,id,size\nexplode,0,1\n");
+  EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsBadId) {
+  std::istringstream in("arrive,notanid,1\n");
+  EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsMissingSize) {
+  std::istringstream in("arrive,0\n");
+  EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsZeroSize) {
+  std::istringstream in("arrive,0,0\n");
+  EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/partree_trace_test.csv";
+  core::TaskSequence seq;
+  const core::TaskId a = seq.arrive(2);
+  seq.depart(a);
+  write_trace_file(seq, path);
+  const core::TaskSequence loaded = read_trace_file(path);
+  EXPECT_EQ(loaded, seq);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace partree::workload
