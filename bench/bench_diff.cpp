@@ -1,0 +1,105 @@
+// Regression gate over two bench_harness reports.
+//
+//   bench_diff --baseline bench/baseline.json --current BENCH_2026-08-06.json
+//
+// Compares median wall times suite-by-suite and exits nonzero when any
+// suite is slower than baseline * (1 + tolerance) or has disappeared.
+// An identical re-run always passes (ratio 1.0), so the 15% default
+// tolerance is pure noise margin.
+//
+// Exit codes: 0 ok, 1 regression(s), 2 usage / unreadable / malformed.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_schema.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+bool read_report(const std::string& path, partree::obs::BenchReport& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    out = partree::obs::report_from_json(
+        partree::util::json::parse(text.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace partree;
+
+  util::Cli cli;
+  cli.option("baseline", "baseline BENCH json (e.g. bench/baseline.json)", "");
+  cli.option("current", "candidate BENCH json to gate", "");
+  cli.option("tolerance", "allowed median slowdown fraction", "0.15");
+  if (!cli.parse(argc, argv)) return 2;
+  if (cli.get("baseline").empty() || cli.get("current").empty()) {
+    std::fprintf(stderr, "bench_diff: --baseline and --current are required\n%s",
+                 cli.usage("bench_diff").c_str());
+    return 2;
+  }
+
+  obs::BenchReport baseline;
+  obs::BenchReport current;
+  if (!read_report(cli.get("baseline"), baseline)) return 2;
+  if (!read_report(cli.get("current"), current)) return 2;
+
+  if (baseline.smoke != current.smoke) {
+    std::fprintf(stderr,
+                 "bench_diff: warning: comparing %s baseline against %s "
+                 "current; medians are not on the same footing\n",
+                 baseline.smoke ? "smoke" : "full",
+                 current.smoke ? "smoke" : "full");
+  }
+
+  obs::CompareOptions options;
+  options.tolerance = cli.get_double("tolerance");
+
+  std::printf("baseline %s (git %s)  vs  current %s (git %s), tolerance %.0f%%\n",
+              baseline.date.c_str(), baseline.git_sha.c_str(),
+              current.date.c_str(), current.git_sha.c_str(),
+              options.tolerance * 100.0);
+  for (const obs::BenchSuite& base : baseline.suites) {
+    const obs::BenchSuite* cur = current.find_suite(base.name);
+    if (cur == nullptr) {
+      std::printf("  %-30s %10.3f ms -> MISSING\n", base.name.c_str(),
+                  base.median_ms);
+      continue;
+    }
+    const double ratio =
+        base.median_ms <= 0.0 ? 1.0 : cur->median_ms / base.median_ms;
+    std::printf("  %-30s %10.3f ms -> %10.3f ms   x%.3f\n",
+                base.name.c_str(), base.median_ms, cur->median_ms, ratio);
+  }
+
+  const auto regressions = compare_reports(baseline, current, options);
+  if (regressions.empty()) {
+    std::printf("verdict: OK (no suite regressed beyond %.0f%%)\n",
+                options.tolerance * 100.0);
+    return 0;
+  }
+  std::printf("verdict: REGRESSION (%zu suite%s)\n", regressions.size(),
+              regressions.size() == 1 ? "" : "s");
+  for (const obs::Regression& r : regressions) {
+    if (r.current_ms < 0) {
+      std::printf("  %-30s missing from current report\n", r.suite.c_str());
+    } else {
+      std::printf("  %-30s %10.3f ms -> %10.3f ms   x%.3f\n",
+                  r.suite.c_str(), r.baseline_ms, r.current_ms, r.ratio);
+    }
+  }
+  return 1;
+}

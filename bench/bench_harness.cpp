@@ -1,0 +1,304 @@
+// The benchmark-regression harness.
+//
+// Runs a fixed, seeded suite of performance scenarios -- allocator
+// micro-ops, the E2 greedy campaign sweep, the E3 tradeoff sweep, raw
+// engine replay throughput, and a counter-overhead measurement -- with
+// warmup + repetitions, and writes a machine-readable BENCH_<date>.json
+// (schema: src/obs/bench_schema.hpp). `bench_diff` compares two such
+// files and gates on regressions; every future perf PR proves itself
+// against the committed bench/baseline.json.
+//
+//   bench_harness                      # full run, writes BENCH_<date>.json
+//   bench_harness --smoke              # tiny sizes, 1 rep; exercises the
+//                                      # machinery (CI), not comparable
+//   bench_harness --timing             # also print the phase breakdown
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <functional>
+
+#include "core/factory.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/timing.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "tree/load_tree.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workload/campaign.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::bench {
+namespace {
+
+struct HarnessConfig {
+  std::uint64_t reps = 7;
+  std::uint64_t warmup = 1;
+  std::uint64_t seed = 1;
+  bool smoke = false;
+  /// Event-budget multiplier; --smoke drops it to a fraction.
+  double scale = 1.0;
+};
+
+/// Times `body` warmup+reps times; counter totals are the global delta
+/// around the final measured repetition (every rep is seeded identically,
+/// so any rep's totals equal any other's).
+obs::BenchSuite run_suite(const std::string& name, std::uint64_t n,
+                          const HarnessConfig& config,
+                          const std::function<void()>& body) {
+  obs::BenchSuite suite;
+  suite.name = name;
+  suite.n = n;
+  suite.reps = config.reps;
+
+  for (std::uint64_t i = 0; i < config.warmup; ++i) body();
+  for (std::uint64_t rep = 0; rep < config.reps; ++rep) {
+    const obs::Counters before = obs::global_counters();
+    util::Timer timer;
+    body();
+    suite.wall_ms.push_back(timer.millis());
+    if (rep + 1 == config.reps) {
+      suite.counters = obs::global_counters().delta_since(before);
+    }
+  }
+  suite.finalize_stats();
+
+  std::printf("  %-28s n=%-6llu median %10.3f ms   p90 %10.3f ms\n",
+              suite.name.c_str(), static_cast<unsigned long long>(n),
+              suite.median_ms, suite.p90_ms);
+  return suite;
+}
+
+// Suite 1: raw LoadTree micro-ops (assign / release / min_load_node), the
+// O(log N) + pruned-DFS primitives every allocator sits on.
+void alloc_micro_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 256 : 1024;
+  const std::uint64_t ops =
+      static_cast<std::uint64_t>(30000 * config.scale) + 100;
+  const tree::Topology topo(n);
+  tree::LoadTree loads(topo);
+  util::Rng rng(config.seed);
+  std::vector<tree::NodeId> assigned;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    if (!assigned.empty() && rng.uniform01() < 0.45) {
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.below(assigned.size()));
+      loads.release(assigned[idx]);
+      assigned[idx] = assigned.back();
+      assigned.pop_back();
+    } else {
+      const std::uint64_t size = std::uint64_t{1}
+                                 << rng.below(topo.height() + 1);
+      const tree::NodeId node = loads.min_load_node(size);
+      loads.assign(node);
+      assigned.push_back(node);
+    }
+  }
+}
+
+// Suite 2: the E2 greedy campaign sweep at N=1024 -- exact A_G over every
+// named workload campaign. Also the body the overhead suite re-times.
+void greedy_sweep_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 128 : 1024;
+  const tree::Topology topo(n);
+  sim::Engine engine(topo);
+  for (const std::string& campaign : workload::campaign_names()) {
+    util::Rng rng(config.seed + n * 13);
+    const auto seq =
+        workload::make_campaign(campaign, topo, rng, 0.4 * config.scale);
+    auto greedy = core::make_allocator("greedy", topo);
+    const auto result = engine.run(seq, *greedy);
+    PARTREE_ASSERT(result.max_load >= result.optimal_load,
+                   "greedy below optimal: impossible");
+  }
+}
+
+// Suite 3: the E3 tradeoff sweep -- A_M(d) across the d axis on one
+// closed-loop sequence (the repack path dominates).
+void tradeoff_sweep_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 64 : 256;
+  const tree::Topology topo(n);
+  util::Rng rng(config.seed + 7);
+  workload::ClosedLoopParams params;
+  params.n_events =
+      static_cast<std::uint64_t>(6000 * config.scale) + 100;
+  params.utilization = 0.75;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  const auto seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  for (const char* spec :
+       {"dmix:d=0", "dmix:d=1", "dmix:d=2", "dmix:d=4", "dmix:d=inf"}) {
+    auto alloc = core::make_allocator(spec, topo);
+    (void)engine.run(seq, *alloc);
+  }
+}
+
+// Suite 4: raw replay throughput at N=4096 through the fast-path
+// allocators (greedy-fast's LevelForest index + basic's copy stack).
+void engine_replay_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 512 : 4096;
+  const tree::Topology topo(n);
+  util::Rng rng(config.seed + 11);
+  workload::ClosedLoopParams params;
+  params.n_events =
+      static_cast<std::uint64_t>(40000 * config.scale) + 100;
+  params.utilization = 0.85;
+  params.size = workload::SizeSpec::geometric(0.6, topo.height());
+  const auto seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  for (const char* spec : {"greedy-fast", "basic"}) {
+    auto alloc = core::make_allocator(spec, topo, config.seed);
+    (void)engine.run(seq, *alloc);
+  }
+}
+
+// Suite 5: counters-enabled vs counters-disabled medians of the greedy
+// sweep; the recorded wall times are the ENABLED runs and
+// counter_overhead_pct is the acceptance metric (< 5%).
+obs::BenchSuite counter_overhead_suite(const HarnessConfig& config) {
+  auto timed_median = [&](bool enabled) {
+    obs::set_counters_enabled(enabled);
+    std::vector<double> walls;
+    for (std::uint64_t i = 0; i < config.warmup; ++i) greedy_sweep_body(config);
+    for (std::uint64_t rep = 0; rep < config.reps; ++rep) {
+      util::Timer timer;
+      greedy_sweep_body(config);
+      walls.push_back(timer.millis());
+    }
+    obs::set_counters_enabled(true);
+    return walls;
+  };
+
+  obs::BenchSuite off;
+  off.wall_ms = timed_median(false);
+  off.finalize_stats();
+
+  obs::BenchSuite suite;
+  suite.name = "counter_overhead_greedy_sweep";
+  suite.n = config.smoke ? 128 : 1024;
+  suite.reps = config.reps;
+  const obs::Counters before = obs::global_counters();
+  suite.wall_ms = timed_median(true);
+  suite.counters = obs::global_counters().delta_since(before);
+  suite.finalize_stats();
+  suite.counter_overhead_pct =
+      off.median_ms <= 0.0
+          ? 0.0
+          : (suite.median_ms - off.median_ms) / off.median_ms * 100.0;
+
+  std::printf(
+      "  %-28s n=%-6llu median %10.3f ms   overhead %+6.2f%% vs disabled\n",
+      suite.name.c_str(), static_cast<unsigned long long>(suite.n),
+      suite.median_ms, suite.counter_overhead_pct);
+  return suite;
+}
+
+std::string today_iso() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d", &tm_buf);
+  return buf;
+}
+
+std::string git_short_sha() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  const bool ok = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+  pclose(pipe);
+  if (!ok) return "unknown";
+  std::string sha(buf);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace
+}  // namespace partree::bench
+
+int main(int argc, char** argv) {
+  using namespace partree;
+
+  util::Cli cli;
+  cli.option("out", "output json path (default BENCH_<date>.json)", "");
+  cli.option("reps", "measured repetitions per suite", "7");
+  cli.option("warmup", "warmup repetitions per suite", "1");
+  cli.flag("smoke", "tiny sizes and 1 rep: exercise, don't measure");
+  cli.flag("timing", "enable phase timers and print the breakdown");
+  if (!bench::parse_standard(cli, argc, argv)) return 1;
+
+  bench::HarnessConfig config;
+  config.reps = cli.get_u64("reps");
+  config.warmup = cli.get_u64("warmup");
+  config.seed = cli.get_u64("seed");
+  if (cli.get_flag("smoke")) {
+    config.smoke = true;
+    config.scale = 0.05;
+    config.reps = 1;
+    config.warmup = 0;
+  }
+  PARTREE_ASSERT(config.reps >= 1, "need at least one repetition");
+
+  if (cli.get_flag("timing")) obs::set_timing_enabled(true);
+
+  bench::banner("BENCH harness",
+                "Fixed perf suite with warmup + repetitions; medians go to "
+                "BENCH_<date>.json for bench_diff gating.");
+
+  obs::BenchReport report;
+  report.date = bench::today_iso();
+  report.git_sha = bench::git_short_sha();
+  report.n_threads = sim::default_thread_count();
+  report.smoke = config.smoke;
+
+  obs::reset_counters();
+  obs::reset_phase_times();
+
+  report.suites.push_back(bench::run_suite(
+      "alloc_micro_ops", config.smoke ? 256 : 1024, config,
+      [&] { bench::alloc_micro_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "greedy_sweep_e2", config.smoke ? 128 : 1024, config,
+      [&] { bench::greedy_sweep_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "tradeoff_sweep_e3", config.smoke ? 64 : 256, config,
+      [&] { bench::tradeoff_sweep_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "engine_replay", config.smoke ? 512 : 4096, config,
+      [&] { bench::engine_replay_body(config); }));
+  report.suites.push_back(bench::counter_overhead_suite(config));
+
+  if (cli.get_flag("timing")) {
+    const obs::PhaseTimes phases = obs::global_phase_times();
+    std::printf("\nphase breakdown (all suites):\n");
+    for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+      const auto phase = static_cast<obs::Phase>(i);
+      std::printf("  %-16s %12.3f ms over %llu spans\n",
+                  std::string(obs::phase_name(phase)).c_str(),
+                  static_cast<double>(phases.nanos(phase)) / 1e6,
+                  static_cast<unsigned long long>(phases.count(phase)));
+    }
+  }
+
+  std::string out_path = cli.get("out");
+  if (out_path.empty()) out_path = "BENCH_" + report.date + ".json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_harness: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << to_json(report).dump() << "\n";
+  std::printf("\nwrote %s (%zu suites, git %s, %llu threads%s)\n",
+              out_path.c_str(), report.suites.size(),
+              report.git_sha.c_str(),
+              static_cast<unsigned long long>(report.n_threads),
+              report.smoke ? ", SMOKE" : "");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitized pre-merge gate: builds with ASan+UBSan, runs the tier1 test
+# label (fast unit/property/differential tests, including the
+# min_load_node differential and trial-determinism tests), then exercises
+# the bench harness end to end with one --smoke iteration and gates it
+# through bench_diff against itself.
+#
+#   scripts/check.sh [build-dir]     # default build-asan
+set -euo pipefail
+BUILD="${1:-build-asan}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$BUILD" -j "$(nproc)"
+
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
+
+SMOKE="$BUILD/BENCH_smoke.json"
+"$BUILD/bench/bench_harness" --smoke --out "$SMOKE"
+# Self-comparison must always pass: identical medians, ratio 1.0.
+"$BUILD/bench/bench_diff" --baseline "$SMOKE" --current "$SMOKE"
+
+echo "check.sh: OK (ASan/UBSan tier1 + bench harness smoke)"

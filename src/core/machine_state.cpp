@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -21,6 +22,7 @@ void MachineState::place(const Task& task, tree::NodeId node) {
   PARTREE_ASSERT(inserted, "task id already active");
   loads_.assign(node);
   peak_active_size_ = std::max(peak_active_size_, loads_.total_active_size());
+  obs::bump(obs::Counter::kTasksPlaced);
 }
 
 tree::NodeId MachineState::remove(TaskId id) {
@@ -29,6 +31,7 @@ tree::NodeId MachineState::remove(TaskId id) {
   const tree::NodeId node = it->second.node;
   loads_.release(node);
   active_.erase(it);
+  obs::bump(obs::Counter::kTasksRemoved);
   return node;
 }
 
@@ -45,6 +48,7 @@ void MachineState::migrate(const std::vector<Migration>& migrations) {
     loads_.release(m.from);
     loads_.assign(m.to);
     it->second.node = m.to;
+    obs::bump(obs::Counter::kMigrationsApplied);
   }
 }
 

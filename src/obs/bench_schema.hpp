@@ -1,0 +1,87 @@
+// The machine-readable benchmark report ("partree-bench-v1").
+//
+// bench_harness produces a BenchReport, serialized as BENCH_<date>.json;
+// bench_diff reads two of them and flags median-wall-time regressions
+// beyond a tolerance. The schema lives here (not in the binaries) so tests
+// can exercise round-tripping and the regression rule directly, and so a
+// future CI step can consume the same structs.
+//
+// JSON layout:
+//   { "schema": "partree-bench-v1",
+//     "date": "YYYY-MM-DD", "git_sha": "...", "n_threads": K,
+//     "smoke": false,
+//     "suites": [ { "name": "...", "n": 1024, "reps": 5,
+//                   "wall_ms": [..], "median_ms": m, "p90_ms": p,
+//                   "mean_ms": a, "min_ms": lo,
+//                   "counters": { "events_processed": ..., ... },
+//                   "counter_overhead_pct": x   // only the overhead suite
+//                 }, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/json.hpp"
+
+namespace partree::obs {
+
+struct BenchSuite {
+  std::string name;
+  std::uint64_t n = 0;       ///< problem size (PEs) the suite ran at
+  std::uint64_t reps = 0;    ///< measured repetitions (excludes warmup)
+  std::vector<double> wall_ms;  ///< per-rep wall time, measurement order
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  Counters counters;  ///< totals over one measured repetition
+  /// Counters-enabled vs disabled overhead, percent; < 0 when the suite
+  /// did not measure it.
+  double counter_overhead_pct = -1.0;
+
+  /// Fills median/p90/mean/min from wall_ms.
+  void finalize_stats();
+};
+
+struct BenchReport {
+  std::string schema = "partree-bench-v1";
+  std::string date;     ///< ISO date of the run
+  std::string git_sha;  ///< short sha, or "unknown"
+  std::uint64_t n_threads = 0;
+  bool smoke = false;  ///< reduced sizes/reps; not baseline-comparable
+  std::vector<BenchSuite> suites;
+
+  [[nodiscard]] const BenchSuite* find_suite(std::string_view name) const;
+};
+
+[[nodiscard]] util::json::Value to_json(const BenchReport& report);
+
+/// Throws std::runtime_error on schema mismatch or malformed fields.
+[[nodiscard]] BenchReport report_from_json(const util::json::Value& v);
+
+/// One suite whose median wall time regressed (or disappeared).
+struct Regression {
+  std::string suite;
+  double baseline_ms = 0.0;
+  /// < 0 when the suite is missing from the current report.
+  double current_ms = -1.0;
+  /// current / baseline (0 when missing).
+  double ratio = 0.0;
+};
+
+struct CompareOptions {
+  /// Flag when current > baseline * (1 + tolerance).
+  double tolerance = 0.15;
+  /// Suites with baseline medians below this are pure noise; skipped.
+  double min_baseline_ms = 0.01;
+};
+
+/// Regressions of `current` against `baseline` (suites matched by name;
+/// suites only in `current` are improvements-by-definition and ignored).
+[[nodiscard]] std::vector<Regression> compare_reports(
+    const BenchReport& baseline, const BenchReport& current,
+    const CompareOptions& options = {});
+
+}  // namespace partree::obs

@@ -1,0 +1,57 @@
+#include "obs/counters.hpp"
+
+#include <atomic>
+
+#include "obs/shard_registry.hpp"
+
+namespace partree::obs {
+namespace {
+
+std::atomic<bool> g_counters_enabled{true};
+
+// Leaked on purpose: worker threads may outlive static destruction order,
+// and their shard handles dereference the registry on thread exit.
+detail::ShardRegistry<Counters>& registry() {
+  static auto* r = new detail::ShardRegistry<Counters>();
+  return *r;
+}
+
+}  // namespace
+
+std::string_view counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kEventsProcessed: return "events_processed";
+    case Counter::kArrivals: return "arrivals";
+    case Counter::kDepartures: return "departures";
+    case Counter::kTasksPlaced: return "tasks_placed";
+    case Counter::kTasksRemoved: return "tasks_removed";
+    case Counter::kMigrationsApplied: return "migrations_applied";
+    case Counter::kReallocRounds: return "realloc_rounds";
+    case Counter::kMinLoadNodeCalls: return "min_load_node_calls";
+    case Counter::kMinLoadNodeVisits: return "min_load_node_visits";
+    case Counter::kParallelTasks: return "parallel_tasks";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+void set_counters_enabled(bool enabled) noexcept {
+  g_counters_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool counters_enabled() noexcept {
+  return g_counters_enabled.load(std::memory_order_relaxed);
+}
+
+void bump(Counter c, std::uint64_t n) noexcept {
+  if (!counters_enabled()) return;
+  registry().local()[c] += n;
+}
+
+Counters thread_counters() noexcept { return registry().local(); }
+
+Counters global_counters() { return registry().aggregate(); }
+
+void reset_counters() { registry().reset(); }
+
+}  // namespace partree::obs

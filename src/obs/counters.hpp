@@ -1,0 +1,102 @@
+// Engine observability counters.
+//
+// A fixed set of process-wide event counters, sharded per thread (see
+// shard_registry.hpp) so the hot paths never synchronise. Instrumented code
+// calls `bump`; harnesses bracket a region with `reset_counters` /
+// `global_counters`, and the engine attaches a per-run delta to each
+// SimResult via `thread_counters` (a simulation run executes entirely on
+// one thread, so the thread-local delta is exact).
+//
+// Counting is on by default and costs one predicted branch plus a
+// thread-local add per bump; `set_counters_enabled(false)` reduces it to
+// the branch, which is what the bench harness measures the overhead
+// criterion against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace partree::obs {
+
+enum class Counter : std::size_t {
+  /// Events consumed by sim::Engine (arrivals + departures).
+  kEventsProcessed = 0,
+  /// Arrival events consumed by sim::Engine.
+  kArrivals,
+  /// Departure events consumed by sim::Engine.
+  kDepartures,
+  /// Tasks placed into core::MachineState.
+  kTasksPlaced,
+  /// Tasks removed from core::MachineState.
+  kTasksRemoved,
+  /// Physical task moves applied by core::MachineState::migrate
+  /// (migrations with from != to; self-moves are free and not counted).
+  kMigrationsApplied,
+  /// Reallocation rounds an allocator elected to perform.
+  kReallocRounds,
+  /// Calls to tree::LoadTree::min_load_node.
+  kMinLoadNodeCalls,
+  /// Nodes visited across all min_load_node queries (the pruning
+  /// effectiveness metric: visits/call << N means the bound works).
+  kMinLoadNodeVisits,
+  /// Work items executed by sim::parallel_for (any thread count).
+  kParallelTasks,
+  kCount,
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name used in BENCH json and reports.
+[[nodiscard]] std::string_view counter_name(Counter c) noexcept;
+
+/// A full snapshot of every counter; also the per-thread shard type.
+struct Counters {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t& operator[](Counter c) noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+
+  void merge(const Counters& other) noexcept {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      values[i] += other.values[i];
+    }
+  }
+
+  /// Component-wise `*this - earlier` (counters are monotonic, so this is
+  /// the work done since `earlier` was snapped on the same thread).
+  [[nodiscard]] Counters delta_since(const Counters& earlier) const noexcept {
+    Counters out;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      out.values[i] = values[i] - earlier.values[i];
+    }
+    return out;
+  }
+
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// Master switch; counting is enabled by default.
+void set_counters_enabled(bool enabled) noexcept;
+[[nodiscard]] bool counters_enabled() noexcept;
+
+/// Adds `n` to counter `c` on the calling thread's shard. No-op when
+/// counting is disabled.
+void bump(Counter c, std::uint64_t n = 1) noexcept;
+
+/// Snapshot of the calling thread's shard (for per-run deltas).
+[[nodiscard]] Counters thread_counters() noexcept;
+
+/// Sum over all threads that ever counted since the last reset, including
+/// exited pool workers. Quiescent points only.
+[[nodiscard]] Counters global_counters();
+
+/// Zeroes all shards (live and retired). Quiescent points only.
+void reset_counters();
+
+}  // namespace partree::obs

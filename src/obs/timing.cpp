@@ -1,0 +1,70 @@
+#include "obs/timing.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/shard_registry.hpp"
+
+namespace partree::obs {
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+std::atomic<TraceHook> g_trace_hook{nullptr};
+
+// Leaked on purpose; see counters.cpp.
+detail::ShardRegistry<PhaseTimes>& registry() {
+  static auto* r = new detail::ShardRegistry<PhaseTimes>();
+  return *r;
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kPlace: return "place";
+    case Phase::kReallocate: return "reallocate";
+    case Phase::kDeparture: return "departure";
+    case Phase::kBookkeeping: return "bookkeeping";
+    case Phase::kParallelRegion: return "parallel_region";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+void set_timing_enabled(bool enabled) noexcept {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() noexcept {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_hook(TraceHook hook) noexcept {
+  g_trace_hook.store(hook, std::memory_order_relaxed);
+}
+
+PhaseTimes global_phase_times() { return registry().aggregate(); }
+
+void reset_phase_times() { registry().reset(); }
+
+namespace detail {
+
+std::uint64_t monotonic_ns() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  // steady_clock never goes backwards; 0 is reserved for "timer disarmed".
+  return ns <= 0 ? 1 : static_cast<std::uint64_t>(ns);
+}
+
+void record_span(Phase phase, std::uint64_t duration_ns) noexcept {
+  PhaseTimes& shard = registry().local();
+  shard.ns[static_cast<std::size_t>(phase)] += duration_ns;
+  ++shard.spans[static_cast<std::size_t>(phase)];
+  if (const TraceHook hook = g_trace_hook.load(std::memory_order_relaxed)) {
+    hook(phase, duration_ns);
+  }
+}
+
+}  // namespace detail
+}  // namespace partree::obs

@@ -1,0 +1,105 @@
+// Phase timing and tracing.
+//
+// `ScopedTimer` brackets one engine phase with the monotonic clock and
+// accumulates the elapsed nanoseconds into a per-thread shard (same
+// sharding as counters.hpp, merged the same way). Timing is OFF by
+// default: two steady_clock reads per event are measurable on small
+// machines, so the harness switches it on only for phase-breakdown runs.
+//
+// An optional trace hook observes every completed span (phase + duration)
+// for ad-hoc tracing -- e.g. dumping a timeline or feeding a profiler. The
+// hook is a plain function pointer so arming it never adds locking to the
+// hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace partree::obs {
+
+enum class Phase : std::size_t {
+  /// Allocator placement decision + state application for one arrival.
+  kPlace = 0,
+  /// Reallocation decision + migration application.
+  kReallocate,
+  /// Departure handling (allocator notification + state removal).
+  kDeparture,
+  /// Per-event metric bookkeeping (series, peak histogram, checks).
+  kBookkeeping,
+  /// One whole sim::parallel_for region, timed on the calling thread.
+  kParallelRegion,
+  kCount,
+};
+
+inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+/// Stable snake_case name used in BENCH json and reports.
+[[nodiscard]] std::string_view phase_name(Phase p) noexcept;
+
+/// Accumulated nanoseconds and span counts per phase.
+struct PhaseTimes {
+  std::array<std::uint64_t, kNumPhases> ns{};
+  std::array<std::uint64_t, kNumPhases> spans{};
+
+  [[nodiscard]] std::uint64_t nanos(Phase p) const noexcept {
+    return ns[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t count(Phase p) const noexcept {
+    return spans[static_cast<std::size_t>(p)];
+  }
+
+  void merge(const PhaseTimes& other) noexcept {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      ns[i] += other.ns[i];
+      spans[i] += other.spans[i];
+    }
+  }
+
+  friend bool operator==(const PhaseTimes&, const PhaseTimes&) = default;
+};
+
+/// Master switch; timing is disabled by default.
+void set_timing_enabled(bool enabled) noexcept;
+[[nodiscard]] bool timing_enabled() noexcept;
+
+/// Span observer: (phase, duration_ns). Called inline on the measuring
+/// thread for every completed span while timing is enabled; must be
+/// thread-safe. Pass nullptr to disarm.
+using TraceHook = void (*)(Phase phase, std::uint64_t duration_ns);
+void set_trace_hook(TraceHook hook) noexcept;
+
+/// Sum over all threads since the last reset. Quiescent points only.
+[[nodiscard]] PhaseTimes global_phase_times();
+
+/// Zeroes all phase-time shards. Quiescent points only.
+void reset_phase_times();
+
+namespace detail {
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+void record_span(Phase phase, std::uint64_t duration_ns) noexcept;
+}  // namespace detail
+
+/// RAII span: measures construction-to-destruction on the monotonic clock
+/// and records it under `phase`. Free when timing is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Phase phase) noexcept
+      : phase_(phase),
+        start_ns_(timing_enabled() ? detail::monotonic_ns() : 0) {}
+
+  ~ScopedTimer() {
+    if (start_ns_ != 0) {
+      detail::record_span(phase_, detail::monotonic_ns() - start_ns_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Phase phase_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace partree::obs

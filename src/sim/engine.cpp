@@ -1,12 +1,39 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <optional>
 
+#include "obs/counters.hpp"
+#include "obs/timing.hpp"
 #include "sim/slowdown.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
 namespace partree::sim {
+namespace {
+
+// EngineOptions::debug_checks: recompute the aggregates the O(log N)
+// incremental updates maintain and compare. Catches drift introduced by
+// hot-path changes (e.g. instrumentation edits) immediately, next to the
+// event that caused it.
+void check_state_invariants(const core::MachineState& state) {
+  const std::vector<std::uint64_t> loads = state.pe_loads();
+  const std::uint64_t max_load =
+      loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+  PARTREE_ASSERT(state.max_load() == max_load,
+                 "debug check: LoadTree max_load != max over pe_loads");
+
+  std::uint64_t active_size = 0;
+  for (const core::ActiveTask& at : state.active_tasks()) {
+    active_size += at.task.size;
+  }
+  PARTREE_ASSERT(state.active_size() == active_size,
+                 "debug check: LoadTree total != sum of active task sizes");
+  PARTREE_ASSERT(state.loads().active_tasks() == state.active_count(),
+                 "debug check: active task counts disagree");
+}
+
+}  // namespace
 
 Engine::Engine(tree::Topology topo, EngineOptions options)
     : topo_(topo), options_(options) {}
@@ -23,6 +50,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
                                   core::Allocator& allocator,
                                   core::TaskSequence* recorded) {
   util::Timer timer;
+  const obs::Counters counters_before = obs::thread_counters();
   allocator.reset();
   core::MachineState state(topo_);
 
@@ -37,20 +65,27 @@ SimResult Engine::run_interactive(core::EventSource& source,
     if (event->kind == core::EventKind::kArrival) {
       const core::Task& task = event->task;
       if (recorded != nullptr) recorded->arrive_as(task.id, task.size);
-      const tree::NodeId node = allocator.place(task, state);
-      state.place(task, node);
+      {
+        const obs::ScopedTimer place_timer(obs::Phase::kPlace);
+        const tree::NodeId node = allocator.place(task, state);
+        state.place(task, node);
+      }
       bool reallocated = false;
-      if (auto migrations = allocator.maybe_reallocate(state)) {
-        ++result.reallocation_count;
-        reallocated = true;
-        if (options_.on_reallocation) options_.on_reallocation(*migrations);
-        for (const core::Migration& m : *migrations) {
-          if (m.from != m.to) {
-            ++result.migration_count;
-            result.migrated_size += state.active_task(m.id).task.size;
+      {
+        const obs::ScopedTimer realloc_timer(obs::Phase::kReallocate);
+        if (auto migrations = allocator.maybe_reallocate(state)) {
+          ++result.reallocation_count;
+          reallocated = true;
+          obs::bump(obs::Counter::kReallocRounds);
+          if (options_.on_reallocation) options_.on_reallocation(*migrations);
+          for (const core::Migration& m : *migrations) {
+            if (m.from != m.to) {
+              ++result.migration_count;
+              result.migrated_size += state.active_task(m.id).task.size;
+            }
           }
+          state.migrate(*migrations);
         }
-        state.migrate(*migrations);
       }
       if (slowdowns) {
         if (reallocated) {
@@ -61,15 +96,20 @@ SimResult Engine::run_interactive(core::EventSource& source,
         }
       }
       ++result.arrivals;
+      obs::bump(obs::Counter::kArrivals);
     } else {
+      const obs::ScopedTimer departure_timer(obs::Phase::kDeparture);
       if (recorded != nullptr) recorded->depart(event->task.id);
       if (slowdowns) slowdowns->on_departure(event->task.id, state);
       allocator.on_departure(event->task.id, state);
       state.remove(event->task.id);
       ++result.departures;
+      obs::bump(obs::Counter::kDepartures);
     }
     ++result.events;
+    obs::bump(obs::Counter::kEventsProcessed);
 
+    const obs::ScopedTimer bookkeeping_timer(obs::Phase::kBookkeeping);
     const std::uint64_t load = state.max_load();
     if (load > result.max_load) {
       result.max_load = load;
@@ -81,6 +121,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
       }
     }
     if (options_.record_series) result.load_series.push_back(load);
+    if (options_.debug_checks) check_state_invariants(state);
   }
 
   if (slowdowns) {
@@ -89,6 +130,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
     result.mean_slowdown = slowdowns->mean_completed();
   }
   result.optimal_load = state.optimal_load();
+  result.counters = obs::thread_counters().delta_since(counters_before);
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -21,6 +21,11 @@ struct EngineOptions {
   /// Track per-task slowdowns (max PE load inside each task's submachine
   /// over its lifetime). Adds O(overlapping tasks) work per event.
   bool record_slowdowns = false;
+  /// Validate the load-accounting invariants after every event:
+  /// LoadTree::max_load() must equal max over pe_loads(), the total active
+  /// size must equal the sum of active task sizes, and the active-task
+  /// counts must agree. O(N) per event; aborts on violation. For tests.
+  bool debug_checks = false;
   /// Invoked with each reallocation's migration list BEFORE it is applied
   /// (placements in `from` are still live); used e.g. to price migrations
   /// on a concrete interconnect.

@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/timing.hpp"
+
 namespace partree::sim {
 
 std::size_t default_thread_count() noexcept {
@@ -19,8 +22,13 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   if (n_threads == 0) n_threads = default_thread_count();
   n_threads = std::min(n_threads, n);
 
+  const obs::ScopedTimer region_timer(obs::Phase::kParallelRegion);
+
   if (n_threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+      obs::bump(obs::Counter::kParallelTasks);
+    }
     return;
   }
 
@@ -34,6 +42,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       if (i >= n) return;
       try {
         fn(i);
+        obs::bump(obs::Counter::kParallelTasks);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

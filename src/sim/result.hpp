@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/histogram.hpp"
 
 namespace partree::sim {
@@ -41,6 +42,10 @@ struct SimResult {
   /// Per-PE load histogram captured at the first moment of peak load;
   /// filled only when requested.
   util::Histogram peak_pe_histogram;
+
+  /// Observability counters attributed to this run (the engine thread's
+  /// obs counter delta across the replay; zeros when counting is off).
+  obs::Counters counters;
 
   double wall_seconds = 0.0;
 

@@ -11,10 +11,10 @@
 
 namespace partree::sim {
 
-TrialAggregate run_trials(tree::Topology topo,
-                          const core::TaskSequence& sequence,
-                          std::string_view spec,
-                          const TrialOptions& options) {
+std::vector<SimResult> run_trial_results(tree::Topology topo,
+                                         const core::TaskSequence& sequence,
+                                         std::string_view spec,
+                                         const TrialOptions& options) {
   PARTREE_ASSERT(options.trials >= 1, "need at least one trial");
 
   std::vector<SimResult> results(options.trials);
@@ -29,6 +29,15 @@ TrialAggregate run_trials(tree::Topology topo,
         results[i] = engine.run(sequence, *allocator);
       },
       options.n_threads);
+  return results;
+}
+
+TrialAggregate run_trials(tree::Topology topo,
+                          const core::TaskSequence& sequence,
+                          std::string_view spec,
+                          const TrialOptions& options) {
+  const std::vector<SimResult> results =
+      run_trial_results(topo, sequence, spec, options);
 
   TrialAggregate agg;
   agg.allocator = results.front().allocator;
@@ -39,6 +48,7 @@ TrialAggregate run_trials(tree::Topology topo,
   util::RunningStats max_stats;
   for (const SimResult& r : results) {
     max_stats.add(static_cast<double>(r.max_load));
+    agg.counters.merge(r.counters);
   }
   agg.expected_max_load = max_stats.mean();
   agg.stddev_max_load = max_stats.stddev();

@@ -10,8 +10,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/sequence.hpp"
+#include "obs/counters.hpp"
+#include "sim/result.hpp"
 #include "tree/topology.hpp"
 
 namespace partree::sim {
@@ -38,6 +41,10 @@ struct TrialAggregate {
   /// max_tau E[L(tau)]: the paper's randomized load.
   double max_expected_load = 0.0;
 
+  /// Observability counters merged over all trials. Addition commutes, so
+  /// this is identical for any n_threads given the same seed.
+  obs::Counters counters;
+
   [[nodiscard]] double expected_ratio() const noexcept {
     return optimal_load == 0 ? 1.0
                              : expected_max_load /
@@ -56,5 +63,12 @@ struct TrialAggregate {
                                         const core::TaskSequence& sequence,
                                         std::string_view spec,
                                         const TrialOptions& options = {});
+
+/// The raw per-trial results backing run_trials, in trial order (trial i
+/// uses seed options.seed + i). Trial scheduling is seed-deterministic, so
+/// the returned vector is identical for any n_threads.
+[[nodiscard]] std::vector<SimResult> run_trial_results(
+    tree::Topology topo, const core::TaskSequence& sequence,
+    std::string_view spec, const TrialOptions& options = {});
 
 }  // namespace partree::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+
 namespace partree::tree {
 
 LoadTree::LoadTree(Topology topo)
@@ -95,9 +97,11 @@ NodeId LoadTree::min_load_node(std::uint64_t size) const {
     std::uint64_t prefix;
   };
   std::vector<Frame> stack{{Topology::root(), 0}};
+  std::uint64_t visits = 0;
   while (!stack.empty()) {
     const auto [v, prefix] = stack.back();
     stack.pop_back();
+    ++visits;
     const std::uint64_t here = prefix + add_[v];
     if (topo_.depth(v) == target_depth) {
       // Max PE load inside v: ancestor add-sum plus the subtree aggregate.
@@ -113,6 +117,8 @@ NodeId LoadTree::min_load_node(std::uint64_t size) const {
     stack.push_back({Topology::right(v), here});
     stack.push_back({Topology::left(v), here});
   }
+  obs::bump(obs::Counter::kMinLoadNodeCalls);
+  obs::bump(obs::Counter::kMinLoadNodeVisits, visits);
   PARTREE_ASSERT(best != kInvalidNode, "min_load_node found no candidate");
   return best;
 }

@@ -1,0 +1,348 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace partree::util::json {
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t offset) {
+  throw std::runtime_error("json: " + std::string(what) + " at offset " +
+                           std::to_string(offset));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage", pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'", pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal", pos_);
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.insert_or_assign(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(out));
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(out));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape", pos_);
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // BENCH files only carry ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape", pos_ - 1);
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      fail("invalid number", start);
+    }
+    return Value(out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+std::string format_number(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    // Integral values print without a fraction (counters, sizes, shas).
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  return buf;
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_double() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(data_);
+}
+
+std::uint64_t Value::as_u64() const {
+  const double d = as_double();
+  if (d < 0 || d != std::floor(d)) {
+    throw std::runtime_error("json: not a nonnegative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(data_);
+  const auto it = obj.find(std::string(key));
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Value::dump_to(std::string& out, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(data_) ? "true" : "false";
+  } else if (is_number()) {
+    out += format_number(std::get<double>(data_));
+  } else if (is_string()) {
+    out += quote(std::get<std::string>(data_));
+  } else if (is_array()) {
+    const Array& arr = std::get<Array>(data_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      indent(out, depth + 1);
+      arr[i].dump_to(out, depth + 1);
+      if (i + 1 < arr.size()) out += ",";
+      out += "\n";
+    }
+    indent(out, depth);
+    out += "]";
+  } else {
+    const Object& obj = std::get<Object>(data_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      indent(out, depth + 1);
+      out += quote(key);
+      out += ": ";
+      value.dump_to(out, depth + 1);
+      if (++i < obj.size()) out += ",";
+      out += "\n";
+    }
+    indent(out, depth);
+    out += "}";
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  return out;
+}
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace partree::util::json

@@ -68,9 +68,12 @@ TEST_P(FuzzSeeds, RandmixZeroMatchesOptimalLoad) {
 }
 
 TEST_P(FuzzSeeds, EveryAllocatorRespectsOptimalFloor) {
+  // debug_checks re-derives the LoadTree aggregates (max over pe_loads,
+  // sum of active sizes) after every event, so this doubles as the engine
+  // invariant property test across every allocator.
   const tree::Topology topo(64);
   const auto seq = fuzz_sequence(topo, GetParam() + 3000);
-  sim::Engine engine(topo);
+  sim::Engine engine(topo, sim::EngineOptions{.debug_checks = true});
   for (const std::string& spec : core::known_allocator_specs()) {
     auto alloc = core::make_allocator(spec, topo, GetParam());
     const auto result = engine.run(seq, *alloc);

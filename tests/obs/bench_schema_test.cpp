@@ -1,0 +1,154 @@
+#include "obs/bench_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace partree::obs {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.date = "2026-08-06";
+  report.git_sha = "abc1234";
+  report.n_threads = 4;
+
+  BenchSuite micro;
+  micro.name = "alloc_micro_ops";
+  micro.n = 1024;
+  micro.reps = 5;
+  micro.wall_ms = {10.0, 11.0, 9.5, 10.5, 10.2};
+  micro.counters[Counter::kMinLoadNodeCalls] = 30000;
+  micro.counters[Counter::kMinLoadNodeVisits] = 1500000;
+  micro.finalize_stats();
+  report.suites.push_back(micro);
+
+  BenchSuite sweep;
+  sweep.name = "greedy_sweep_e2";
+  sweep.n = 1024;
+  sweep.reps = 5;
+  sweep.wall_ms = {100.0, 98.0, 102.0, 99.0, 101.0};
+  sweep.counters[Counter::kEventsProcessed] = 250000;
+  sweep.counter_overhead_pct = 1.25;
+  sweep.finalize_stats();
+  report.suites.push_back(sweep);
+  return report;
+}
+
+TEST(BenchSchemaTest, FinalizeStatsComputesOrderStatistics) {
+  BenchSuite suite;
+  suite.wall_ms = {5.0, 1.0, 3.0, 2.0, 4.0};
+  suite.finalize_stats();
+  EXPECT_DOUBLE_EQ(suite.median_ms, 3.0);
+  EXPECT_DOUBLE_EQ(suite.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(suite.mean_ms, 3.0);
+  EXPECT_NEAR(suite.p90_ms, 4.6, 1e-9);
+}
+
+TEST(BenchSchemaTest, JsonRoundTripPreservesEverything) {
+  const BenchReport original = sample_report();
+  const std::string text = to_json(original).dump();
+  const BenchReport parsed =
+      report_from_json(util::json::parse(text));
+
+  EXPECT_EQ(parsed.schema, "partree-bench-v1");
+  EXPECT_EQ(parsed.date, original.date);
+  EXPECT_EQ(parsed.git_sha, original.git_sha);
+  EXPECT_EQ(parsed.n_threads, original.n_threads);
+  EXPECT_EQ(parsed.smoke, original.smoke);
+  ASSERT_EQ(parsed.suites.size(), original.suites.size());
+  for (std::size_t i = 0; i < parsed.suites.size(); ++i) {
+    const BenchSuite& a = parsed.suites[i];
+    const BenchSuite& b = original.suites[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.reps, b.reps);
+    EXPECT_EQ(a.wall_ms, b.wall_ms);
+    EXPECT_DOUBLE_EQ(a.median_ms, b.median_ms);
+    EXPECT_DOUBLE_EQ(a.p90_ms, b.p90_ms);
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_DOUBLE_EQ(a.counter_overhead_pct, b.counter_overhead_pct);
+  }
+
+  // Serialization is canonical: dumping the parsed report reproduces the
+  // exact bytes (sorted keys, stable number formatting).
+  EXPECT_EQ(to_json(parsed).dump(), text);
+}
+
+TEST(BenchSchemaTest, IdenticalReportsAlwaysPass) {
+  const BenchReport report = sample_report();
+  EXPECT_TRUE(compare_reports(report, report).empty());
+}
+
+TEST(BenchSchemaTest, TwoXSlowdownIsFlagged) {
+  const BenchReport baseline = sample_report();
+  BenchReport slow = baseline;
+  for (BenchSuite& suite : slow.suites) {
+    for (double& w : suite.wall_ms) w *= 2.0;
+    suite.finalize_stats();
+  }
+  const auto regressions = compare_reports(baseline, slow);
+  ASSERT_EQ(regressions.size(), baseline.suites.size());
+  for (const Regression& r : regressions) {
+    EXPECT_NEAR(r.ratio, 2.0, 1e-9);
+    EXPECT_GT(r.current_ms, r.baseline_ms);
+  }
+}
+
+TEST(BenchSchemaTest, SlowdownWithinToleranceIsNoise) {
+  const BenchReport baseline = sample_report();
+  BenchReport noisy = baseline;
+  for (BenchSuite& suite : noisy.suites) {
+    for (double& w : suite.wall_ms) w *= 1.10;
+    suite.finalize_stats();
+  }
+  EXPECT_TRUE(compare_reports(baseline, noisy).empty());
+
+  // ... and just past the default 15% it is not.
+  BenchReport slow = baseline;
+  for (BenchSuite& suite : slow.suites) {
+    for (double& w : suite.wall_ms) w *= 1.16;
+    suite.finalize_stats();
+  }
+  EXPECT_FALSE(compare_reports(baseline, slow).empty());
+}
+
+TEST(BenchSchemaTest, MissingSuiteIsFlagged) {
+  const BenchReport baseline = sample_report();
+  BenchReport current = baseline;
+  current.suites.pop_back();
+  const auto regressions = compare_reports(baseline, current);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].suite, "greedy_sweep_e2");
+  EXPECT_LT(regressions[0].current_ms, 0.0);
+}
+
+TEST(BenchSchemaTest, SubNoiseFloorSuitesAreSkipped) {
+  BenchReport baseline = sample_report();
+  BenchSuite tiny;
+  tiny.name = "noise";
+  tiny.wall_ms = {0.001, 0.002};
+  tiny.finalize_stats();
+  baseline.suites.push_back(tiny);
+
+  BenchReport current = baseline;
+  for (double& w : current.suites.back().wall_ms) w *= 50.0;
+  current.suites.back().finalize_stats();
+  // A 50x blowup on a microsecond-scale suite is timer noise, not signal.
+  EXPECT_TRUE(compare_reports(baseline, current).empty());
+}
+
+TEST(BenchSchemaTest, UnknownSchemaIsRejected) {
+  util::json::Value v = to_json(sample_report());
+  v.as_object()["schema"] = util::json::Value("partree-bench-v999");
+  EXPECT_THROW((void)report_from_json(v), std::runtime_error);
+}
+
+TEST(BenchSchemaTest, MissingFieldsAreRejected) {
+  util::json::Value v = to_json(sample_report());
+  v.as_object().erase("suites");
+  EXPECT_THROW((void)report_from_json(v), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace partree::obs

@@ -1,0 +1,149 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/timing.hpp"
+#include "sim/parallel.hpp"
+
+namespace partree::obs {
+namespace {
+
+// Counting is a process-wide default-on switch; leave it the way we found
+// it so test order never matters.
+class CountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_counters_enabled(true); }
+  void TearDown() override { set_counters_enabled(true); }
+};
+
+TEST_F(CountersTest, BumpIsVisibleInThreadSnapshot) {
+  const Counters before = thread_counters();
+  bump(Counter::kEventsProcessed);
+  bump(Counter::kMigrationsApplied, 5);
+  const Counters delta = thread_counters().delta_since(before);
+  EXPECT_EQ(delta[Counter::kEventsProcessed], 1u);
+  EXPECT_EQ(delta[Counter::kMigrationsApplied], 5u);
+  EXPECT_EQ(delta[Counter::kMinLoadNodeVisits], 0u);
+}
+
+TEST_F(CountersTest, DisabledBumpsCountNothing) {
+  set_counters_enabled(false);
+  EXPECT_FALSE(counters_enabled());
+  const Counters before = thread_counters();
+  bump(Counter::kEventsProcessed, 100);
+  EXPECT_EQ(thread_counters().delta_since(before),
+            Counters{});
+  set_counters_enabled(true);
+  bump(Counter::kEventsProcessed);
+  EXPECT_EQ(thread_counters().delta_since(before)[Counter::kEventsProcessed],
+            1u);
+}
+
+TEST_F(CountersTest, WorkerShardsMergeAtJoin) {
+  reset_counters();
+  sim::parallel_for(
+      100, [](std::size_t) { bump(Counter::kReallocRounds, 2); }, 4);
+  // parallel_for's workers exited (joined) before it returned; their
+  // shards must have been folded into the global view.
+  const Counters total = global_counters();
+  EXPECT_EQ(total[Counter::kReallocRounds], 200u);
+  EXPECT_EQ(total[Counter::kParallelTasks], 100u);
+}
+
+TEST_F(CountersTest, ResetClearsLiveAndRetiredShards) {
+  bump(Counter::kArrivals, 3);
+  sim::parallel_for(
+      10, [](std::size_t) { bump(Counter::kArrivals); }, 2);
+  EXPECT_GE(global_counters()[Counter::kArrivals], 13u);
+  reset_counters();
+  EXPECT_EQ(global_counters(), Counters{});
+  EXPECT_EQ(thread_counters()[Counter::kArrivals], 0u);
+}
+
+TEST_F(CountersTest, MergeAndDeltaAreComponentWise) {
+  Counters a;
+  a[Counter::kArrivals] = 7;
+  Counters b;
+  b[Counter::kArrivals] = 2;
+  b[Counter::kDepartures] = 9;
+  a.merge(b);
+  EXPECT_EQ(a[Counter::kArrivals], 9u);
+  EXPECT_EQ(a[Counter::kDepartures], 9u);
+  const Counters d = a.delta_since(b);
+  EXPECT_EQ(d[Counter::kArrivals], 7u);
+  EXPECT_EQ(d[Counter::kDepartures], 0u);
+}
+
+TEST_F(CountersTest, CounterNamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string name(counter_name(c));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(counter_name(Counter::kEventsProcessed), "events_processed");
+  EXPECT_EQ(counter_name(Counter::kMinLoadNodeVisits), "min_load_node_visits");
+}
+
+TEST(TimingTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  reset_phase_times();
+  {
+    const ScopedTimer t(Phase::kPlace);
+  }
+  EXPECT_EQ(global_phase_times().count(Phase::kPlace), 0u);
+
+  set_timing_enabled(true);
+  {
+    const ScopedTimer t(Phase::kPlace);
+  }
+  {
+    const ScopedTimer t(Phase::kReallocate);
+  }
+  set_timing_enabled(false);
+
+  const PhaseTimes times = global_phase_times();
+  EXPECT_EQ(times.count(Phase::kPlace), 1u);
+  EXPECT_EQ(times.count(Phase::kReallocate), 1u);
+  EXPECT_EQ(times.count(Phase::kDeparture), 0u);
+  reset_phase_times();
+}
+
+namespace trace_capture {
+int spans = 0;
+std::uint64_t total_ns = 0;
+void hook(Phase, std::uint64_t ns) {
+  ++spans;
+  total_ns += ns;
+}
+}  // namespace trace_capture
+
+TEST(TimingTest, TraceHookSeesEverySpan) {
+  reset_phase_times();
+  set_timing_enabled(true);
+  set_trace_hook(&trace_capture::hook);
+  {
+    const ScopedTimer t(Phase::kBookkeeping);
+  }
+  {
+    const ScopedTimer t(Phase::kDeparture);
+  }
+  set_trace_hook(nullptr);
+  set_timing_enabled(false);
+
+  EXPECT_EQ(trace_capture::spans, 2);
+  EXPECT_GT(trace_capture::total_ns, 0u);
+  reset_phase_times();
+}
+
+TEST(TimingTest, PhaseNamesAreStable) {
+  EXPECT_EQ(phase_name(Phase::kPlace), "place");
+  EXPECT_EQ(phase_name(Phase::kParallelRegion), "parallel_region");
+}
+
+}  // namespace
+}  // namespace partree::obs

@@ -1,0 +1,111 @@
+// Seeded determinism: a trial batch must produce identical results and
+// identical merged observability counters no matter how many worker
+// threads execute it. Trial i always uses seed base+i and lands in result
+// slot i, and counter merging is commutative addition over per-thread
+// shards, so n_threads is invisible everywhere except wall time.
+#include "sim/trials.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::sim {
+namespace {
+
+core::TaskSequence make_sequence(const tree::Topology& topo) {
+  util::Rng rng(17);
+  workload::ClosedLoopParams params;
+  params.n_events = 600;
+  params.utilization = 0.7;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  return workload::closed_loop(topo, params, rng);
+}
+
+std::vector<std::uint64_t> bins_of(const util::Histogram& h) {
+  return {h.bins().begin(), h.bins().end()};
+}
+
+// Everything except wall_seconds, which is the one legitimately
+// nondeterministic field.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.allocator, b.allocator);
+  EXPECT_EQ(a.n_pes, b.n_pes);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.departures, b.departures);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.optimal_load, b.optimal_load);
+  EXPECT_EQ(a.reallocation_count, b.reallocation_count);
+  EXPECT_EQ(a.migration_count, b.migration_count);
+  EXPECT_EQ(a.migrated_size, b.migrated_size);
+  EXPECT_EQ(a.load_series, b.load_series);
+  EXPECT_EQ(a.task_slowdowns, b.task_slowdowns);
+  EXPECT_EQ(a.worst_slowdown, b.worst_slowdown);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(bins_of(a.peak_pe_histogram), bins_of(b.peak_pe_histogram));
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+class TrialsDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrialsDeterminismTest, SerialAndParallelRunsAreByteIdentical) {
+  const tree::Topology topo(64);
+  const auto seq = make_sequence(topo);
+
+  TrialOptions serial;
+  serial.trials = 8;
+  serial.seed = 5;
+  serial.n_threads = 1;
+  TrialOptions parallel = serial;
+  parallel.n_threads = 4;
+
+  obs::reset_counters();
+  const auto serial_results =
+      run_trial_results(topo, seq, GetParam(), serial);
+  const obs::Counters serial_counters = obs::global_counters();
+
+  obs::reset_counters();
+  const auto parallel_results =
+      run_trial_results(topo, seq, GetParam(), parallel);
+  const obs::Counters parallel_counters = obs::global_counters();
+
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    expect_identical(serial_results[i], parallel_results[i]);
+  }
+  EXPECT_EQ(serial_counters, parallel_counters);
+  EXPECT_GT(serial_counters[obs::Counter::kEventsProcessed], 0u);
+  EXPECT_EQ(serial_counters[obs::Counter::kParallelTasks], 8u);
+}
+
+TEST_P(TrialsDeterminismTest, AggregatesMatchAcrossThreadCounts) {
+  const tree::Topology topo(32);
+  const auto seq = make_sequence(topo);
+
+  TrialOptions serial;
+  serial.trials = 6;
+  serial.seed = 23;
+  serial.n_threads = 1;
+  TrialOptions parallel = serial;
+  parallel.n_threads = 4;
+
+  const auto a = run_trials(topo, seq, GetParam(), serial);
+  const auto b = run_trials(topo, seq, GetParam(), parallel);
+  EXPECT_EQ(a.allocator, b.allocator);
+  EXPECT_EQ(a.expected_max_load, b.expected_max_load);
+  EXPECT_EQ(a.stddev_max_load, b.stddev_max_load);
+  EXPECT_EQ(a.min_max_load, b.min_max_load);
+  EXPECT_EQ(a.max_max_load, b.max_max_load);
+  EXPECT_EQ(a.max_expected_load, b.max_expected_load);
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+// Both a randomized allocator (seeds matter) and a deterministic one.
+INSTANTIATE_TEST_SUITE_P(Allocators, TrialsDeterminismTest,
+                         ::testing::Values("randmix:d=2", "random", "greedy"));
+
+}  // namespace
+}  // namespace partree::sim

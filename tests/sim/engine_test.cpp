@@ -4,6 +4,7 @@
 
 #include "core/factory.hpp"
 #include "core/sequence.hpp"
+#include "obs/counters.hpp"
 #include "workload/synthetic.hpp"
 
 namespace partree::sim {
@@ -104,6 +105,54 @@ TEST(EngineTest, WallClockRecorded) {
   const auto seq = workload::closed_loop(topo, params, rng);
   const auto result = engine.run(seq, *alloc);
   EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(EngineTest, DebugChecksAcceptConsistentRuns) {
+  // debug_checks recompute the load aggregates from scratch after every
+  // event; on a correct engine they must be silent for allocators with
+  // and without reallocation.
+  const tree::Topology topo(16);
+  Engine engine(topo, EngineOptions{.debug_checks = true});
+  util::Rng rng(11);
+  workload::ClosedLoopParams params;
+  params.n_events = 300;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  const auto seq = workload::closed_loop(topo, params, rng);
+  for (const char* spec : {"greedy", "dmix:d=1", "optimal", "random"}) {
+    auto alloc = core::make_allocator(spec, topo, 3);
+    const auto result = engine.run(seq, *alloc);
+    EXPECT_GE(result.max_load, result.optimal_load) << spec;
+  }
+}
+
+TEST(EngineTest, CountersAttributedToTheRun) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("greedy", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(result.counters[obs::Counter::kEventsProcessed], result.events);
+  EXPECT_EQ(result.counters[obs::Counter::kArrivals], result.arrivals);
+  EXPECT_EQ(result.counters[obs::Counter::kDepartures], result.departures);
+  // Every arrival is placed exactly once; greedy never migrates.
+  EXPECT_EQ(result.counters[obs::Counter::kTasksPlaced], result.arrivals);
+  EXPECT_EQ(result.counters[obs::Counter::kMigrationsApplied], 0u);
+  EXPECT_EQ(result.counters[obs::Counter::kReallocRounds], 0u);
+  // Greedy answers each arrival with one min_load_node query.
+  EXPECT_EQ(result.counters[obs::Counter::kMinLoadNodeCalls],
+            result.arrivals);
+  EXPECT_GE(result.counters[obs::Counter::kMinLoadNodeVisits],
+            result.arrivals);
+}
+
+TEST(EngineTest, ReallocCountersMatchResultFields) {
+  const tree::Topology topo(4);
+  Engine engine(topo);
+  auto alloc = core::make_allocator("dmix:d=1", topo);
+  const auto result = engine.run(core::figure1_sequence(), *alloc);
+  EXPECT_EQ(result.counters[obs::Counter::kReallocRounds],
+            result.reallocation_count);
+  EXPECT_EQ(result.counters[obs::Counter::kMigrationsApplied],
+            result.migration_count);
 }
 
 TEST(EngineDeathTest, InvalidSequenceRejected) {
