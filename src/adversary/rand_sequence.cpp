@@ -28,15 +28,19 @@ core::TaskSequence random_lb_sequence(tree::Topology topo, util::Rng& rng,
 
   core::TaskSequence seq;
   RandSequenceStats local;
-  local.phases = phases;
 
   std::uint64_t raw_size = 1;  // log^i N, exact integer
   for (std::uint64_t i = 0; i < phases; ++i) {
-    const std::uint64_t count = n / (3 * raw_size);
-    if (count == 0) break;
-    // Round the phase size down to a legal power-of-two task size.
+    // Round the phase size down to a legal power-of-two task size; the
+    // rounding only weakens the adversary (Thm 5.2 sizes are log^i N).
     const std::uint64_t size =
         std::min<std::uint64_t>(util::pow2_floor(raw_size), n);
+    // Phase volume is ~n/3 counted in the size actually placed, so the
+    // task count matches the placed sizes rather than the un-rounded
+    // log^i N (which would under-fill rounded phases).
+    const std::uint64_t count = n / (3 * size);
+    if (count == 0) break;  // size > n/3: every later phase is empty too
+    ++local.phases;
 
     std::vector<core::TaskId> phase_tasks;
     phase_tasks.reserve(count);
@@ -51,8 +55,11 @@ core::TaskSequence random_lb_sequence(tree::Topology topo, util::Rng& rng,
         ++local.survivors;
       }
     }
-    // Next phase size: log^{i+1} N.
-    if (raw_size > n / log_n) break;  // further phases would be empty
+    // Next phase size: log^{i+1} N. Termination is decided by the next
+    // phase's own (rounded) count, not by a raw-size cutoff that could
+    // drop a final phase whose rounded size still fits; the guard here
+    // only bounds raw_size so the multiply cannot overflow.
+    if (raw_size > n) break;
     raw_size *= log_n;
   }
 

@@ -23,7 +23,7 @@
 namespace partree::adversary {
 
 struct RandSequenceStats {
-  std::uint64_t phases = 0;
+  std::uint64_t phases = 0;     // phases actually emitted (>= 1)
   std::uint64_t arrivals = 0;
   std::uint64_t survivors = 0;  // tasks that never depart
 };

@@ -10,23 +10,20 @@
 #include "obs/timing.hpp"
 
 namespace partree::sim {
+namespace {
 
-std::size_t default_thread_count() noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t n_threads) {
+// Shared driver: fn receives (worker, i).
+void run_pool(std::size_t n,
+              const std::function<void(std::size_t, std::size_t)>& fn,
+              std::size_t n_threads) {
   if (n == 0) return;
-  if (n_threads == 0) n_threads = default_thread_count();
-  n_threads = std::min(n_threads, n);
+  n_threads = resolve_thread_count(n, n_threads);
 
   const obs::ScopedTimer region_timer(obs::Phase::kParallelRegion);
 
   if (n_threads == 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      fn(i);
+      fn(0, i);
       obs::bump(obs::Counter::kParallelTasks);
     }
     return;
@@ -36,12 +33,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t w) {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        fn(w, i);
         obs::bump(obs::Counter::kParallelTasks);
       } catch (...) {
         std::lock_guard lock(error_mutex);
@@ -52,9 +49,34 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 
   std::vector<std::thread> pool;
   pool.reserve(n_threads);
-  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t resolve_thread_count(std::size_t n,
+                                 std::size_t n_threads) noexcept {
+  if (n_threads == 0) n_threads = default_thread_count();
+  return n < n_threads ? n : n_threads;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t n_threads) {
+  run_pool(
+      n, [&fn](std::size_t, std::size_t i) { fn(i); }, n_threads);
+}
+
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t n_threads) {
+  run_pool(n, fn, n_threads);
 }
 
 }  // namespace partree::sim

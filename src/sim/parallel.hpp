@@ -21,4 +21,19 @@ namespace partree::sim {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t n_threads = 0);
 
+/// Worker count parallel_for / parallel_for_workers will actually use for
+/// an n-item loop: min(n, n_threads or default_thread_count()).
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t n,
+                                               std::size_t n_threads) noexcept;
+
+/// As parallel_for, but fn additionally receives the worker index in
+/// [0, resolve_thread_count(n, n_threads)): fn(worker, i). Workers own
+/// disjoint index streams, so a per-worker accumulator slot is race-free.
+/// Dynamic scheduling means the worker->i assignment is NOT deterministic
+/// across runs -- only use per-worker state whose fold is order-independent
+/// (e.g. integer sums).
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t n_threads = 0);
+
 }  // namespace partree::sim

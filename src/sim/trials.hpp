@@ -35,6 +35,8 @@ struct TrialAggregate {
   /// E[max_tau L]: mean over trials of the per-trial maximum load.
   double expected_max_load = 0.0;
   double stddev_max_load = 0.0;
+  /// Integer extremes of the per-trial maximum load, tracked exactly
+  /// (never round-tripped through doubles).
   std::uint64_t min_max_load = 0;
   std::uint64_t max_max_load = 0;
 
@@ -58,7 +60,10 @@ struct TrialAggregate {
 };
 
 /// Runs `options.trials` independent simulations of `spec` (seeded
-/// seed, seed+1, ...) over the same sequence and aggregates.
+/// seed, seed+1, ...) over the same sequence and aggregates, streaming:
+/// per-event series fold into O(horizon)-per-worker pointwise partial
+/// sums (exact integer arithmetic, so every aggregate is identical for
+/// any n_threads) rather than materializing trials x horizon memory.
 [[nodiscard]] TrialAggregate run_trials(tree::Topology topo,
                                         const core::TaskSequence& sequence,
                                         std::string_view spec,

@@ -1,53 +1,142 @@
 #include "tree/copy_set.hpp"
 
-#include <numeric>
+#include <bit>
+
+#include "util/math.hpp"
 
 namespace partree::tree {
 
-CopySet::CopySet(Topology topo, CopyFit fit) : topo_(topo), fit_(fit) {}
+CopySet::CopySet(Topology topo, CopyFit fit)
+    : topo_(topo), fit_(fit), n_levels_(topo.height() + 1) {}
+
+std::uint32_t CopySet::rank_of(std::uint64_t max_free) {
+  if (max_free == 0) return 0;
+  PARTREE_DEBUG_ASSERT(util::is_pow2(max_free),
+                       "copy max_free must be 0 or a power of two");
+  return util::exact_log2(max_free) + 1;
+}
+
+std::uint64_t CopySet::max_free_of(std::uint64_t k) const {
+  return copies_[k] ? copies_[k]->max_free() : topo_.n_leaves();
+}
+
+VacancyTree CopySet::take_vacant_tree() {
+  if (spare_) {
+    VacancyTree tree = std::move(*spare_);
+    spare_.reset();
+    return tree;
+  }
+  return VacancyTree(topo_);
+}
+
+void CopySet::set_rank(std::uint64_t k, std::uint32_t from, std::uint32_t to) {
+  // fits_[j] holds copy k iff j < rank, so moving the rank flips exactly
+  // the levels between the old and new value.
+  const std::uint64_t mask = std::uint64_t{1} << (k % 64);
+  std::uint64_t* stripe = fits_.data() + (k / 64) * n_levels_;
+  for (std::uint32_t j = to; j < from; ++j) stripe[j] &= ~mask;
+  for (std::uint32_t j = from; j < to; ++j) stripe[j] |= mask;
+}
+
+void CopySet::reindex(std::uint64_t k) {
+  const std::uint32_t fresh = rank_of(max_free_of(k));
+  if (fresh == copy_rank_[k]) return;
+  set_rank(k, copy_rank_[k], fresh);
+  copy_rank_[k] = fresh;
+}
 
 CopyPlacement CopySet::place(std::uint64_t size) {
+  PARTREE_DEBUG_ASSERT(size > 0 && util::is_pow2(size),
+                       "placement size must be a power of two");
+  const std::uint32_t level = util::exact_log2(size);
+  const std::uint64_t n_words = (copies_.size() + 63) / 64;
+  std::uint64_t best = UINT64_MAX;
   if (fit_ == CopyFit::kFirstFit) {
-    for (std::uint64_t k = 0; k < copies_.size(); ++k) {
-      if (copies_[k].can_fit(size)) {
-        return {k, copies_[k].allocate(size)};
+    // First copy (creation order) whose largest vacant block fits: the
+    // lowest set bit of the cumulative level-`level` bitset -- one word
+    // read per 64-copy stripe.
+    for (std::uint64_t w = 0; w < n_words; ++w) {
+      const std::uint64_t word = fits_[w * n_levels_ + level];
+      if (word != 0) {
+        best = w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+        break;
       }
     }
   } else {
     // Best fit: the copy whose largest vacant block is the tightest
-    // sufficient one (earliest copy on ties).
-    std::uint64_t best = copies_.size();
-    std::uint64_t best_free = UINT64_MAX;
-    for (std::uint64_t k = 0; k < copies_.size(); ++k) {
-      const std::uint64_t free = copies_[k].max_free();
-      if (free >= size && free < best_free) {
-        best = k;
-        best_free = free;
+    // sufficient one (earliest copy on ties). Free values are exact powers
+    // of two, so the tightest class at level j is "fits 2^j but not
+    // 2^(j+1)"; scan classes from tightest to loosest.
+    for (std::uint32_t j = level; j < n_levels_ && best == UINT64_MAX; ++j) {
+      for (std::uint64_t w = 0; w < n_words; ++w) {
+        std::uint64_t word = fits_[w * n_levels_ + j];
+        if (j + 1 < n_levels_) word &= ~fits_[w * n_levels_ + j + 1];
+        if (word != 0) {
+          best = w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+          break;
+        }
       }
     }
-    if (best != copies_.size()) {
-      return {best, copies_[best].allocate(size)};
-    }
   }
-  copies_.emplace_back(topo_);
-  return {copies_.size() - 1, copies_.back().allocate(size)};
+
+  if (best == UINT64_MAX) {
+    best = copies_.size();
+    copies_.push_back(take_vacant_tree());
+    copy_rank_.push_back(0);
+    if (best % 64 == 0) {
+      fits_.resize(fits_.size() + n_levels_, 0);
+    }
+    set_rank(best, 0, n_levels_);
+    copy_rank_.back() = n_levels_;
+    ++live_copies_;
+  } else if (!copies_[best]) {
+    // Reuse an empty slot: behaviourally identical to the all-vacant copy
+    // it stands for, materialized only now that it holds a task again.
+    copies_[best] = take_vacant_tree();
+    ++live_copies_;
+  }
+
+  const NodeId node = copies_[best]->allocate(size);
+  used_ += size;
+  reindex(best);
+  return {best, node};
 }
 
 void CopySet::remove(const CopyPlacement& placement) {
   PARTREE_ASSERT(placement.copy < copies_.size(),
                  "remove from nonexistent copy");
-  copies_[placement.copy].release(placement.node);
-  while (!copies_.empty() && copies_.back().empty()) {
+  PARTREE_ASSERT(copies_[placement.copy].has_value(),
+                 "remove from empty copy");
+  std::optional<VacancyTree>& copy = copies_[placement.copy];
+  copy->release(placement.node);
+  used_ -= topo_.subtree_size(placement.node);
+  if (copy->empty()) {
+    // Reclaim the drained copy's storage in place; the slot keeps its
+    // index (outstanding CopyPlacements stay valid) and keeps acting as a
+    // fully vacant copy in the placement search. The drained tree itself
+    // becomes the spare for the next materialization.
+    spare_ = std::move(*copy);
+    copy.reset();
+    --live_copies_;
+  }
+  reindex(placement.copy);
+  while (!copies_.empty() && !copies_.back().has_value()) {
+    const std::uint64_t k = copies_.size() - 1;
+    set_rank(k, copy_rank_[k], 0);
+    if (k % 64 == 0) {
+      fits_.resize(fits_.size() - n_levels_);
+    }
     copies_.pop_back();
+    copy_rank_.pop_back();
   }
 }
 
-std::uint64_t CopySet::used() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& copy : copies_) total += copy.used();
-  return total;
+void CopySet::clear() {
+  copies_.clear();
+  copy_rank_.clear();
+  fits_.clear();
+  used_ = 0;
+  live_copies_ = 0;
 }
-
-void CopySet::clear() { copies_.clear(); }
 
 }  // namespace partree::tree

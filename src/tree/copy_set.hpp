@@ -5,9 +5,20 @@
 // (creating a fresh copy when none fits). Physically, a task placed in copy
 // k at node v occupies subtree v of the real machine; copies are pure
 // bookkeeping that cap the machine's maximum load by the copy count.
+//
+// Placement is indexed, not scanned: a copy's largest vacant aligned block
+// is always 0 or a power of two, so the set keeps cumulative per-level
+// bitsets fits_[j] = "copies whose largest vacant block is >= 2^j". A
+// first-fit query for a (power-of-two) size 2^j is then one word read per
+// 64 copies -- O(ceil(C/64)) instead of O(C) pointer chases over C live
+// copies -- and an update moves a copy across |delta level| words with no
+// allocation. Copies that drain to empty release their O(N) occupancy
+// storage (slot indices stay stable, so issued CopyPlacements remain
+// valid); an empty slot behaves exactly like a fully-vacant copy.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "tree/vacancy_tree.hpp"
@@ -41,24 +52,63 @@ class CopySet {
     return copies_.size();
   }
 
+  /// Number of copies currently holding at least one task. Empty copies
+  /// (interior slots whose tasks all departed) keep their index but hold
+  /// no occupancy storage, so this is what tracks live usage under churn.
+  [[nodiscard]] std::uint64_t live_copy_count() const noexcept {
+    return live_copies_;
+  }
+
   /// First-fit placement: first copy with a vacant block of `size`,
   /// leftmost block within it. Creates a new copy when none fits.
   [[nodiscard]] CopyPlacement place(std::uint64_t size);
 
-  /// Releases a previous placement. Trailing empty copies are discarded
-  /// (search order over the remaining copies is unchanged, so behaviour is
-  /// identical to keeping them).
+  /// Releases a previous placement. A copy that drains to empty releases
+  /// its occupancy storage in place (its index remains valid and it keeps
+  /// behaving like a fully-vacant copy); trailing empty copies are
+  /// discarded entirely (search order over the remaining copies is
+  /// unchanged, so behaviour is identical to keeping them).
   void remove(const CopyPlacement& placement);
 
-  /// Total occupied PE count across copies.
-  [[nodiscard]] std::uint64_t used() const noexcept;
+  /// Total occupied PE count across copies. O(1).
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
 
   void clear();
 
  private:
+  /// Rank of a max_free value: 0 for a full copy, exact_log2 + 1 for the
+  /// power-of-two free sizes. A copy belongs to fits_[j] iff j < rank.
+  [[nodiscard]] static std::uint32_t rank_of(std::uint64_t max_free);
+  /// Moves copy k's fits_ membership from its recorded rank to the one
+  /// matching its current max_free (flips |delta| words).
+  void reindex(std::uint64_t k);
+  [[nodiscard]] std::uint64_t max_free_of(std::uint64_t k) const;
+  void set_rank(std::uint64_t k, std::uint32_t from, std::uint32_t to);
+  /// The spare drained tree if one is cached, else a freshly built one.
+  [[nodiscard]] VacancyTree take_vacant_tree();
+
   Topology topo_;
   CopyFit fit_;
-  std::vector<VacancyTree> copies_;
+  /// nullopt = empty copy with reclaimed storage (equivalent to a fully
+  /// vacant VacancyTree); materialized lazily on next placement into it.
+  std::vector<std::optional<VacancyTree>> copies_;
+  /// Most recently drained tree, kept for the next materialization: a
+  /// drained VacancyTree is identical to a freshly built one, so reusing
+  /// it turns the drain/refill oscillation under churn into two moves
+  /// instead of an O(N) free + allocate pair. Caps retained empty-copy
+  /// storage at one copy.
+  std::optional<VacancyTree> spare_;
+  std::vector<std::uint32_t> copy_rank_;  // current fits_ rank per copy
+  /// Cumulative per-level bitsets over copy ids, stored word-major in one
+  /// flat array: word w of level j lives at fits_[w * n_levels_ + j], and
+  /// bit k%64 of word k/64 is set iff copy k's largest vacant block is
+  /// >= 2^j. Word-major keeps one 64-copy stripe contiguous, and the flat
+  /// layout makes the whole index a single allocation (repacks build and
+  /// discard a CopySet per call, so construction cost is on the hot path).
+  std::vector<std::uint64_t> fits_;
+  std::uint32_t n_levels_;                // height+1 (levels 0..height)
+  std::uint64_t used_ = 0;
+  std::uint64_t live_copies_ = 0;
 };
 
 }  // namespace partree::tree

@@ -9,16 +9,22 @@ namespace partree::tree {
 LoadTree::LoadTree(Topology topo)
     : topo_(topo),
       add_(topo.n_nodes() + 1, 0),
-      down_(topo.n_nodes() + 1, 0) {}
+      down_(topo.n_nodes() + 1, 0) {
+  scratch_.reserve(topo_.height() + 2);
+}
 
 void LoadTree::update_path(NodeId v) {
-  // Recompute `down` from v up to the root.
-  while (v >= 1) {
+  // Recompute `down` from v up to the root; stop as soon as a node's
+  // aggregate is unchanged (its ancestors only see `down` of this child,
+  // so nothing above can change either).
+  while (true) {
     const std::uint64_t below =
         topo_.is_leaf(v) ? 0 : std::max(down_[Topology::left(v)],
                                         down_[Topology::right(v)]);
-    down_[v] = add_[v] + below;
-    if (v == 1) break;
+    const std::uint64_t fresh = add_[v] + below;
+    if (fresh == down_[v]) return;
+    down_[v] = fresh;
+    if (v == 1) return;
     v = Topology::parent(v);
   }
 }
@@ -62,25 +68,48 @@ std::uint64_t LoadTree::pe_load(PeId pe) const {
 }
 
 std::vector<std::uint64_t> LoadTree::pe_loads() const {
-  // One DFS carrying the ancestor add-sum; O(N) total.
+  // One DFS carrying the ancestor add-sum; O(N) total. The stack is the
+  // tree-owned scratch buffer, so only the returned vector allocates.
   std::vector<std::uint64_t> loads(topo_.n_leaves(), 0);
-  struct Frame {
-    NodeId node;
-    std::uint64_t prefix;
-  };
-  std::vector<Frame> stack{{Topology::root(), 0}};
-  while (!stack.empty()) {
-    const auto [v, prefix] = stack.back();
-    stack.pop_back();
+  scratch_.clear();
+  scratch_.push_back({Topology::root(), 0});
+  while (!scratch_.empty()) {
+    const auto [v, prefix] = scratch_.back();
+    scratch_.pop_back();
     const std::uint64_t here = prefix + add_[v];
     if (topo_.is_leaf(v)) {
       loads[v - topo_.n_leaves()] = here;
     } else {
-      stack.push_back({Topology::right(v), here});
-      stack.push_back({Topology::left(v), here});
+      scratch_.push_back({Topology::right(v), here});
+      scratch_.push_back({Topology::left(v), here});
     }
   }
   return loads;
+}
+
+void LoadTree::min_load_dfs(NodeId v, std::uint32_t levels_left,
+                            std::uint64_t prefix, NodeId& best,
+                            std::uint64_t& best_load,
+                            std::uint64_t& visits) const {
+  ++visits;
+  if (levels_left == 0) {
+    // Max PE load inside v: ancestor add-sum plus the subtree aggregate.
+    const std::uint64_t value = prefix + down_[v];
+    if (value < best_load) {
+      best_load = value;
+      best = v;
+    }
+    return;
+  }
+  const std::uint64_t here = prefix + add_[v];
+  if (here >= best_load) return;  // cannot beat the incumbent
+  // Left child first so ties resolve to the leftmost submachine; re-check
+  // the bound before the right child since the left may have tightened it.
+  min_load_dfs(Topology::left(v), levels_left - 1, here, best, best_load,
+               visits);
+  if (here >= best_load) return;
+  min_load_dfs(Topology::right(v), levels_left - 1, here, best, best_load,
+               visits);
 }
 
 NodeId LoadTree::min_load_node(std::uint64_t size) const {
@@ -88,35 +117,12 @@ NodeId LoadTree::min_load_node(std::uint64_t size) const {
   NodeId best = kInvalidNode;
   std::uint64_t best_load = UINT64_MAX;
 
-  // DFS, left child first so ties resolve to the leftmost submachine.
-  // Prune: the max load of any target-level node below v is at least the
-  // add-sum of its ancestors (prefix), so subtrees with prefix >= best
-  // cannot improve on an already-found candidate.
-  struct Frame {
-    NodeId node;
-    std::uint64_t prefix;
-  };
-  std::vector<Frame> stack{{Topology::root(), 0}};
+  // DFS with branch-and-bound pruning: the max load of any target-level
+  // node below v is at least the add-sum of its ancestors (prefix), so
+  // subtrees with prefix >= best cannot improve on an already-found
+  // candidate. Recursion depth is at most log N; no allocation per query.
   std::uint64_t visits = 0;
-  while (!stack.empty()) {
-    const auto [v, prefix] = stack.back();
-    stack.pop_back();
-    ++visits;
-    const std::uint64_t here = prefix + add_[v];
-    if (topo_.depth(v) == target_depth) {
-      // Max PE load inside v: ancestor add-sum plus the subtree aggregate.
-      const std::uint64_t value = prefix + down_[v];
-      if (value < best_load) {
-        best_load = value;
-        best = v;
-      }
-      continue;
-    }
-    if (here >= best_load) continue;  // cannot beat the incumbent
-    // Push right first so left is explored first (leftmost tie-break).
-    stack.push_back({Topology::right(v), here});
-    stack.push_back({Topology::left(v), here});
-  }
+  min_load_dfs(Topology::root(), target_depth, 0, best, best_load, visits);
   obs::bump(obs::Counter::kMinLoadNodeCalls);
   obs::bump(obs::Counter::kMinLoadNodeVisits, visits);
   PARTREE_ASSERT(best != kInvalidNode, "min_load_node found no candidate");

@@ -54,7 +54,8 @@ class LoadTree {
 
   /// Leftmost submachine of the given size whose maximum PE load is
   /// minimal (the greedy A_G target). Exact; O(N/size) node visits with
-  /// branch-and-bound pruning.
+  /// branch-and-bound pruning; allocation-free (recursive DFS, depth at
+  /// most log N).
   [[nodiscard]] NodeId min_load_node(std::uint64_t size) const;
 
   /// Sum over PEs of their load == total size of active tasks. O(1).
@@ -71,12 +72,23 @@ class LoadTree {
 
  private:
   void update_path(NodeId v);
+  void min_load_dfs(NodeId v, std::uint32_t levels_left, std::uint64_t prefix,
+                    NodeId& best, std::uint64_t& best_load,
+                    std::uint64_t& visits) const;
+
+  struct Frame {
+    NodeId node;
+    std::uint64_t prefix;
+  };
 
   Topology topo_;
   std::vector<std::uint64_t> add_;
   std::vector<std::uint64_t> down_;
   std::uint64_t active_size_ = 0;
   std::uint64_t active_tasks_ = 0;
+  // Reused DFS stack for the const query paths (pe_loads, min_load_node);
+  // cleared, never shrunk, so steady-state queries allocate nothing.
+  mutable std::vector<Frame> scratch_;
 };
 
 }  // namespace partree::tree

@@ -26,9 +26,13 @@ std::uint64_t VacancyTree::recompute(NodeId v) const {
 }
 
 void VacancyTree::update_path(NodeId v) {
+  // Stop as soon as a node's aggregate is unchanged: an ancestor only sees
+  // this child through free_[v], so nothing above can change either.
   while (true) {
-    free_[v] = recompute(v);
-    if (v == 1) break;
+    const std::uint64_t fresh = recompute(v);
+    if (fresh == free_[v]) return;
+    free_[v] = fresh;
+    if (v == 1) return;
     v = Topology::parent(v);
   }
 }

@@ -76,6 +76,60 @@ TEST(RandSequenceTest, ExactSizesWhenLogNIsPow2) {
   }
 }
 
+TEST(RandSequenceTest, PhaseSchedulePinnedAtN65536) {
+  // N = 2^16: log N = 16 is itself a power of two, so the Thm 5.2 phase
+  // sizes are exact: phases = floor(16 / (2*4)) = 2, with
+  //   phase 0: N/3       = 21845 tasks of size 1,
+  //   phase 1: N/(3*16)  =  1365 tasks of size 16.
+  const tree::Topology topo(std::uint64_t{1} << 16);
+  util::Rng rng(23);
+  RandSequenceStats stats;
+  const core::TaskSequence seq = random_lb_sequence(topo, rng, &stats);
+  EXPECT_EQ(stats.phases, 2u);
+  EXPECT_EQ(stats.arrivals, 21845u + 1365u);
+
+  std::uint64_t size1 = 0;
+  std::uint64_t size16 = 0;
+  for (const core::Event& e : seq.events()) {
+    if (e.kind != core::EventKind::kArrival) continue;
+    if (e.task.size == 1) {
+      ++size1;
+      EXPECT_EQ(size16, 0u) << "phase 1 arrivals must follow phase 0";
+    } else {
+      ASSERT_EQ(e.task.size, 16u);
+      ++size16;
+    }
+  }
+  EXPECT_EQ(size1, 21845u);
+  EXPECT_EQ(size16, 1365u);
+}
+
+TEST(RandSequenceTest, PhaseCountUsesRoundedSize) {
+  // N = 2^20: log N = 20 rounds down to task size 16, so the phase-1 task
+  // count must be N/(3*16) = 21845 -- counted in the size actually placed
+  // -- not N/(3*20) = 17476 from the un-rounded log N.
+  const tree::Topology topo(std::uint64_t{1} << 20);
+  util::Rng rng(29);
+  RandSequenceStats stats;
+  const core::TaskSequence seq = random_lb_sequence(topo, rng, &stats);
+  EXPECT_EQ(stats.phases, 2u);
+
+  std::uint64_t size1 = 0;
+  std::uint64_t size16 = 0;
+  for (const core::Event& e : seq.events()) {
+    if (e.kind != core::EventKind::kArrival) continue;
+    if (e.task.size == 1) {
+      ++size1;
+    } else {
+      ASSERT_EQ(e.task.size, 16u);
+      ++size16;
+    }
+  }
+  EXPECT_EQ(size1, (std::uint64_t{1} << 20) / 3);
+  EXPECT_EQ(size16, (std::uint64_t{1} << 20) / 48);
+  EXPECT_EQ(stats.arrivals, size1 + size16);
+}
+
 TEST(RandSequenceTest, HurtsObliviousAllocators) {
   // sigma_r drives every no-reallocation algorithm above optimal; verify
   // the shape (load strictly above L* on average) for the oblivious

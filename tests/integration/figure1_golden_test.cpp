@@ -1,0 +1,58 @@
+// Golden-file pin of the paper's Figure-1 worked example (experiment E7).
+//
+// Renders the full sigma* run -- per-allocator max load, reallocation
+// count, and the complete per-event load series -- into a canonical text
+// report and compares it byte-for-byte against the committed golden file.
+// This freezes the E7 narrative (greedy -> load 2, one reallocation ->
+// load 1) against any hot-path or aggregation change; if a change is
+// intentional, regenerate the golden from the failure output.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+
+namespace partree {
+namespace {
+
+std::string render_figure1_report() {
+  const tree::Topology topo(4);
+  const core::TaskSequence sigma_star = core::figure1_sequence();
+  std::ostringstream out;
+  out << "sigma* (Figure 1) on the 4-PE tree; optimal load "
+      << sigma_star.optimal_load(4) << "\n";
+  for (const char* spec : {"greedy", "dmix:d=1", "optimal", "basic"}) {
+    auto allocator = core::make_allocator(spec, topo);
+    sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
+    const sim::SimResult result = engine.run(sigma_star, *allocator);
+    out << result.allocator << ": max_load=" << result.max_load
+        << " reallocations=" << result.reallocation_count << " series=";
+    for (std::size_t t = 0; t < result.load_series.size(); ++t) {
+      if (t > 0) out << ",";
+      out << result.load_series[t];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(Figure1GoldenTest, ReportMatchesGoldenFile) {
+  const std::string path =
+      std::string(PARTREE_GOLDEN_DIR) + "/figure1_sigma_star.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot read golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const std::string actual = render_figure1_report();
+  EXPECT_EQ(actual, golden.str())
+      << "Figure-1 report drifted from the golden file. If the change is "
+         "intentional, update " << path << " to:\n" << actual;
+}
+
+}  // namespace
+}  // namespace partree

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "workload/synthetic.hpp"
 
 namespace partree::sim {
@@ -58,6 +60,57 @@ TEST(TrialsTest, SerialAndParallelAgree) {
       topo, seq, "random", TrialOptions{.trials = 8, .seed = 5, .n_threads = 4});
   EXPECT_DOUBLE_EQ(serial.expected_max_load, parallel.expected_max_load);
   EXPECT_DOUBLE_EQ(serial.max_expected_load, parallel.max_expected_load);
+}
+
+TEST(TrialsTest, HandComputedTwoTrialFixture) {
+  // Figure 1's sigma* under greedy: both trials are identical with load
+  // series 1 1 1 1 1 1 2, so every aggregate is hand-computable:
+  //   E[max_tau L]   = (2 + 2) / 2          = 2
+  //   max_tau E[L]   = max(1,...,1, (2+2)/2) = 2
+  const tree::Topology topo(4);
+  const core::TaskSequence seq = core::figure1_sequence();
+  const auto agg = run_trials(topo, seq, "greedy",
+                              TrialOptions{.trials = 2, .seed = 1});
+  EXPECT_EQ(agg.trials, 2u);
+  EXPECT_EQ(agg.optimal_load, 1u);
+  EXPECT_DOUBLE_EQ(agg.expected_max_load, 2.0);
+  EXPECT_DOUBLE_EQ(agg.max_expected_load, 2.0);
+  EXPECT_DOUBLE_EQ(agg.stddev_max_load, 0.0);
+  EXPECT_EQ(agg.min_max_load, 2u);
+  EXPECT_EQ(agg.max_max_load, 2u);
+  EXPECT_DOUBLE_EQ(agg.expected_ratio(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.paper_ratio(), 2.0);
+}
+
+TEST(TrialsTest, AggregatesMatchReferenceOnTwoTrialFixture) {
+  // The streaming aggregation must agree exactly with the straightforward
+  // reference computation over the raw per-trial series (integer sums, so
+  // equality is exact, not approximate).
+  const tree::Topology topo(8);
+  const auto seq = test_sequence(topo, 9);
+  const TrialOptions options{.trials = 2, .seed = 11};
+  const auto results = run_trial_results(topo, seq, "random", options);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].load_series.size(), seq.size());
+  ASSERT_EQ(results[1].load_series.size(), seq.size());
+
+  const double mean_max =
+      (static_cast<double>(results[0].max_load) +
+       static_cast<double>(results[1].max_load)) / 2.0;
+  double max_mean = 0.0;
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const double mean = (static_cast<double>(results[0].load_series[t]) +
+                         static_cast<double>(results[1].load_series[t])) / 2.0;
+    max_mean = std::max(max_mean, mean);
+  }
+
+  const auto agg = run_trials(topo, seq, "random", options);
+  EXPECT_DOUBLE_EQ(agg.expected_max_load, mean_max);
+  EXPECT_DOUBLE_EQ(agg.max_expected_load, max_mean);
+  EXPECT_EQ(agg.min_max_load,
+            std::min(results[0].max_load, results[1].max_load));
+  EXPECT_EQ(agg.max_max_load,
+            std::max(results[0].max_load, results[1].max_load));
 }
 
 TEST(TrialsTest, CarriesMetadata) {

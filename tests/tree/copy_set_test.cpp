@@ -93,6 +93,78 @@ TEST(CopySetTest, CopyCountMatchesCeilBound) {
   }
 }
 
+TEST(CopySetTest, ReclaimsInteriorEmptyCopies) {
+  const Topology topo(8);
+  CopySet cs{topo};
+  const CopyPlacement a = cs.place(8);
+  const CopyPlacement b = cs.place(8);
+  const CopyPlacement c = cs.place(8);
+  (void)a;
+  EXPECT_EQ(cs.copy_count(), 3u);
+  EXPECT_EQ(cs.live_copy_count(), 3u);
+
+  // Draining an interior copy keeps its index (placements in later copies
+  // stay valid) but drops it from the live count.
+  cs.remove(b);
+  EXPECT_EQ(cs.copy_count(), 3u);
+  EXPECT_EQ(cs.live_copy_count(), 2u);
+  EXPECT_EQ(cs.used(), 16u);
+
+  // The reclaimed slot is refilled before any new copy is created, at the
+  // same index, exactly like the fully vacant copy it stands for.
+  const CopyPlacement d = cs.place(4);
+  EXPECT_EQ(d.copy, 1u);
+  EXPECT_EQ(cs.live_copy_count(), 3u);
+
+  // Removing from a reused slot still works and trailing reclamation
+  // shrinks the stack through interior empties.
+  cs.remove(c);
+  EXPECT_EQ(cs.copy_count(), 2u);
+  cs.remove(d);
+  EXPECT_EQ(cs.copy_count(), 1u);
+  EXPECT_EQ(cs.live_copy_count(), 1u);
+}
+
+TEST(CopySetTest, LiveCopiesTrackUsageUnderChurn) {
+  // Regression for unbounded interior-empty accumulation: under sustained
+  // arrival/departure churn with long-lived stragglers, the live copy
+  // count must track what the active tasks actually need -- at least
+  // ceil(used/N) by pigeonhole, at most one copy per active task -- and a
+  // full drain must return the stack to zero copies.
+  for (const CopyFit fit : {CopyFit::kFirstFit, CopyFit::kBestFit}) {
+    const Topology topo(16);
+    CopySet cs{topo, fit};
+    util::Rng rng(321);
+    std::vector<CopyPlacement> held;
+    std::uint64_t held_size = 0;
+    for (int step = 0; step < 4000; ++step) {
+      if (held.empty() || rng.bernoulli(0.5)) {
+        const std::uint64_t size = std::uint64_t{1}
+                                   << rng.below(topo.height() + 1);
+        held.push_back(cs.place(size));
+        held_size += size;
+      } else {
+        const std::uint64_t pick = rng.below(held.size());
+        cs.remove(held[pick]);
+        held_size -= topo.subtree_size(held[pick].node);
+        held[pick] = held.back();
+        held.pop_back();
+      }
+      ASSERT_EQ(cs.used(), held_size);
+      ASSERT_LE(cs.live_copy_count(), cs.copy_count());
+      ASSERT_LE(cs.live_copy_count(), held.size());
+      ASSERT_GE(cs.live_copy_count() * topo.n_leaves(), held_size);
+    }
+    while (!held.empty()) {
+      cs.remove(held.back());
+      held.pop_back();
+    }
+    EXPECT_EQ(cs.copy_count(), 0u);
+    EXPECT_EQ(cs.live_copy_count(), 0u);
+    EXPECT_EQ(cs.used(), 0u);
+  }
+}
+
 TEST(CopySetTest, RandomChurnInvariant) {
   const Topology topo(32);
   CopySet cs{topo};
