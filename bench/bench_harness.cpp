@@ -12,8 +12,11 @@
 //   bench_harness --smoke              # tiny sizes, 1 rep; exercises the
 //                                      # machinery (CI), not comparable
 //   bench_harness --timing             # also print the phase breakdown
+//   bench_harness --trace out.json     # ONE traced E2 greedy sweep ->
+//                                      # Chrome trace JSON; no bench report
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -21,7 +24,9 @@
 
 #include "core/factory.hpp"
 #include "obs/bench_schema.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/timing.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
 #include "tree/load_tree.hpp"
@@ -99,11 +104,15 @@ void alloc_micro_body(const HarnessConfig& config) {
 }
 
 // Suite 2: the E2 greedy campaign sweep at N=1024 -- exact A_G over every
-// named workload campaign. Also the body the overhead suite re-times.
-void greedy_sweep_body(const HarnessConfig& config) {
+// named workload campaign. Also the body the overhead suites re-time; with
+// a sink it becomes the traced run behind --trace.
+void greedy_sweep_body(const HarnessConfig& config,
+                       obs::TraceSink* sink = nullptr) {
   const std::uint64_t n = config.smoke ? 128 : 1024;
   const tree::Topology topo(n);
-  sim::Engine engine(topo);
+  sim::EngineOptions options;
+  options.trace = sink;
+  sim::Engine engine(topo, options);
   for (const std::string& campaign : workload::campaign_names()) {
     util::Rng rng(config.seed + n * 13);
     const auto seq =
@@ -197,6 +206,104 @@ obs::BenchSuite counter_overhead_suite(const HarnessConfig& config) {
   return suite;
 }
 
+// Suite 6: what the tracing subsystem costs while DISABLED -- the default
+// path every other suite and every user run takes, which now carries one
+// flight-recorder store per engine instant. The recorded wall times are
+// those default runs (so bench_diff gates them against the baseline like
+// any suite), and trace_overhead_pct is the acceptance metric (< 5%):
+// their median vs truly-bare runs with the recorder switched off. The
+// full cost of ARMING tracing (timing + clock reads + ring drains into a
+// counting sink) is printed for reference but is not gated -- a complete
+// timeline is expected to cost real time.
+obs::BenchSuite trace_overhead_suite(const HarnessConfig& config) {
+  auto timed_one = [&](bool recorder_on, obs::TraceSink* arm) {
+    obs::set_flight_recorder_enabled(recorder_on);
+    util::Timer timer;
+    greedy_sweep_body(config, arm);
+    obs::set_flight_recorder_enabled(true);
+    return timer.millis();
+  };
+
+  for (std::uint64_t i = 0; i < config.warmup + 1; ++i) {
+    greedy_sweep_body(config);
+  }
+
+  // Drift on a shared box dwarfs a per-event store, so bare and default
+  // runs are INTERLEAVED in alternating order (the OBSERVABILITY.md
+  // refresh procedure) and the pct is the median of per-pair ratios,
+  // which cancels drift slower than one pair.
+  obs::BenchSuite bare;
+  obs::BenchSuite suite;
+  suite.name = "trace_overhead_greedy_sweep";
+  suite.n = config.smoke ? 128 : 1024;
+  const std::uint64_t pairs =
+      config.smoke ? config.reps : std::max<std::uint64_t>(config.reps, 15);
+  suite.reps = pairs;
+  const obs::Counters before = obs::global_counters();
+  std::vector<double> pair_ratio;
+  for (std::uint64_t rep = 0; rep < pairs; ++rep) {
+    double bare_ms;
+    double default_ms;
+    if (rep % 2 == 0) {
+      bare_ms = timed_one(false, nullptr);
+      default_ms = timed_one(true, nullptr);
+    } else {
+      default_ms = timed_one(true, nullptr);
+      bare_ms = timed_one(false, nullptr);
+    }
+    bare.wall_ms.push_back(bare_ms);
+    suite.wall_ms.push_back(default_ms);
+    if (bare_ms > 0.0) pair_ratio.push_back(default_ms / bare_ms);
+  }
+  suite.counters = obs::global_counters().delta_since(before);
+  bare.finalize_stats();
+  suite.finalize_stats();
+  std::sort(pair_ratio.begin(), pair_ratio.end());
+
+  obs::CountingTraceSink sink;
+  obs::BenchSuite armed;
+  for (std::uint64_t rep = 0; rep < config.reps; ++rep) {
+    armed.wall_ms.push_back(timed_one(true, &sink));
+  }
+  armed.finalize_stats();
+  suite.trace_overhead_pct =
+      pair_ratio.empty()
+          ? 0.0
+          : (pair_ratio[pair_ratio.size() / 2] - 1.0) * 100.0;
+  const double armed_pct =
+      suite.median_ms <= 0.0
+          ? 0.0
+          : (armed.median_ms - suite.median_ms) / suite.median_ms * 100.0;
+
+  std::printf(
+      "  %-28s n=%-6llu median %10.3f ms   overhead %+6.2f%% vs bare "
+      "(armed: %+6.2f%%)\n",
+      suite.name.c_str(), static_cast<unsigned long long>(suite.n),
+      suite.median_ms, suite.trace_overhead_pct, armed_pct);
+  return suite;
+}
+
+// --trace: one traced greedy sweep -> Chrome trace JSON; exits the
+// process' normal measuring path entirely.
+int run_traced_sweep(const HarnessConfig& config, const std::string& path) {
+  obs::ChromeTraceSink sink;
+  greedy_sweep_body(config, &sink);
+  if (!sink.write_file(path)) {
+    std::fprintf(stderr, "bench_harness: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf(
+      "wrote %s (%llu place spans, %llu arrivals, %llu counter samples, "
+      "%llu dropped)\nopen it in chrome://tracing or ui.perfetto.dev\n",
+      path.c_str(),
+      static_cast<unsigned long long>(sink.span_count(obs::Phase::kPlace)),
+      static_cast<unsigned long long>(
+          sink.instant_count(obs::Instant::kArrival)),
+      static_cast<unsigned long long>(sink.counter_samples()),
+      static_cast<unsigned long long>(sink.dropped_events()));
+  return 0;
+}
+
 std::string today_iso() {
   const std::time_t now = std::time(nullptr);
   std::tm tm_buf{};
@@ -232,6 +339,10 @@ int main(int argc, char** argv) {
   cli.option("warmup", "warmup repetitions per suite", "1");
   cli.flag("smoke", "tiny sizes and 1 rep: exercise, don't measure");
   cli.flag("timing", "enable phase timers and print the breakdown");
+  cli.option("trace",
+             "write a Chrome trace of one traced E2 greedy sweep here and "
+             "exit (no bench report)",
+             "");
   if (!bench::parse_standard(cli, argc, argv)) return 1;
 
   bench::HarnessConfig config;
@@ -245,6 +356,10 @@ int main(int argc, char** argv) {
     config.warmup = 0;
   }
   PARTREE_ASSERT(config.reps >= 1, "need at least one repetition");
+
+  if (const std::string trace_path = cli.get("trace"); !trace_path.empty()) {
+    return bench::run_traced_sweep(config, trace_path);
+  }
 
   if (cli.get_flag("timing")) obs::set_timing_enabled(true);
 
@@ -274,6 +389,7 @@ int main(int argc, char** argv) {
       "engine_replay", config.smoke ? 512 : 4096, config,
       [&] { bench::engine_replay_body(config); }));
   report.suites.push_back(bench::counter_overhead_suite(config));
+  report.suites.push_back(bench::trace_overhead_suite(config));
 
   if (cli.get_flag("timing")) {
     const obs::PhaseTimes phases = obs::global_phase_times();

@@ -1,15 +1,22 @@
-// Trace runner: replay a recorded task trace (CSV) through any allocator.
+// Trace runner: replay a task trace through any allocator, optionally
+// exporting a Chrome/Perfetto timeline of the run.
 //
 //   ./trace_runner --trace mytrace.csv --n 1024 --allocator dmix:d=2
+//   ./trace_runner --campaign steady-mix --n 256 --timeline run.trace.json
 //   ./trace_runner --make-demo demo.csv --n 64     # write a demo trace
 //
-// The trace format is the library's own (kind,id,size rows; see
+// The input format is the library's own CSV (kind,id,size rows; see
 // workload/trace.hpp), so traces recorded from adversary_duel or produced
-// by external schedulers replay bit-for-bit.
+// by external schedulers replay bit-for-bit; --campaign generates one of
+// the named workload campaigns instead. --timeline arms the structured
+// tracing layer (obs/trace.hpp) for the replay and writes the resulting
+// phase spans, engine instants, and counter tracks as trace-event JSON --
+// open it in chrome://tracing or ui.perfetto.dev.
 #include <cstdio>
 #include <iostream>
 
 #include "core/factory.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/report.hpp"
 #include "util/cli.hpp"
@@ -21,9 +28,13 @@ int main(int argc, char** argv) {
 
   util::Cli cli;
   cli.option("trace", "CSV trace to replay", "")
+      .option("campaign", "generate this named campaign instead of reading "
+                          "a CSV (see workload/campaign.hpp)", "")
       .option("n", "number of PEs (power of two)", "1024")
       .option("allocator", "allocator spec (see factory)", "greedy")
-      .option("seed", "seed for randomized allocators", "1")
+      .option("seed", "seed for campaigns and randomized allocators", "1")
+      .option("scale", "campaign length multiplier", "0.5")
+      .option("timeline", "write a Chrome trace of the replay here", "")
       .option("make-demo", "write a demo trace to this path and exit", "")
       .flag("slowdowns", "also report the per-task slowdown distribution");
   if (!cli.parse(argc, argv)) return 1;
@@ -40,12 +51,25 @@ int main(int argc, char** argv) {
   }
 
   const std::string path = cli.get("trace");
-  if (path.empty()) {
-    std::fprintf(stderr, "need --trace <file> (or --make-demo <file>)\n");
+  const std::string campaign = cli.get("campaign");
+  if (path.empty() == campaign.empty()) {
+    std::fprintf(stderr,
+                 "need exactly one of --trace <file> / --campaign <name> "
+                 "(or --make-demo <file>)\n");
     return 1;
   }
 
-  const core::TaskSequence seq = workload::read_trace_file(path);
+  core::TaskSequence seq;
+  std::string source_label;
+  if (!path.empty()) {
+    seq = workload::read_trace_file(path);
+    source_label = path;
+  } else {
+    util::Rng rng(cli.get_u64("seed"));
+    seq = workload::make_campaign(campaign, topo, rng,
+                                  cli.get_double("scale"));
+    source_label = "campaign " + campaign;
+  }
   if (const std::string error = seq.validate(topo.n_leaves());
       !error.empty()) {
     std::fprintf(stderr, "trace invalid for N=%llu: %s\n",
@@ -54,8 +78,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string timeline = cli.get("timeline");
+  obs::ChromeTraceSink timeline_sink;
   sim::EngineOptions options;
   options.record_slowdowns = cli.get_flag("slowdowns");
+  if (!timeline.empty()) options.trace = &timeline_sink;
   sim::Engine engine(topo, options);
   auto allocator =
       core::make_allocator(cli.get("allocator"), topo, cli.get_u64("seed"));
@@ -63,13 +90,30 @@ int main(int argc, char** argv) {
 
   std::vector<sim::SimResult> results{result};
   sim::results_table(results).print(
-      std::cout, "replay of " + path + " (" + std::to_string(seq.size()) +
-                     " events)");
+      std::cout, "replay of " + source_label + " (" +
+                     std::to_string(seq.size()) + " events)");
   if (options.record_slowdowns) {
     std::printf("\nslowdowns: mean %.3f, worst %llu over %zu completed tasks\n",
                 result.mean_slowdown,
                 static_cast<unsigned long long>(result.worst_slowdown),
                 result.task_slowdowns.size());
+  }
+  if (!timeline.empty()) {
+    if (!timeline_sink.write_file(timeline)) {
+      std::fprintf(stderr, "cannot write %s\n", timeline.c_str());
+      return 1;
+    }
+    std::printf(
+        "\nwrote %s (%llu spans, %llu counter samples, %llu dropped) -- "
+        "open it in chrome://tracing or ui.perfetto.dev\n",
+        timeline.c_str(),
+        static_cast<unsigned long long>(
+            timeline_sink.span_count(obs::Phase::kPlace) +
+            timeline_sink.span_count(obs::Phase::kReallocate) +
+            timeline_sink.span_count(obs::Phase::kDeparture) +
+            timeline_sink.span_count(obs::Phase::kBookkeeping)),
+        static_cast<unsigned long long>(timeline_sink.counter_samples()),
+        static_cast<unsigned long long>(timeline_sink.dropped_events()));
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -36,6 +37,7 @@ tree::NodeId MachineState::remove(TaskId id) {
 }
 
 void MachineState::migrate(const std::vector<Migration>& migrations) {
+  std::uint64_t moved = 0;
   for (const Migration& m : migrations) {
     const auto it = active_.find(m.id);
     PARTREE_ASSERT(it != active_.end(), "migrating task that is not active");
@@ -48,8 +50,10 @@ void MachineState::migrate(const std::vector<Migration>& migrations) {
     loads_.release(m.from);
     loads_.assign(m.to);
     it->second.node = m.to;
+    ++moved;
     obs::bump(obs::Counter::kMigrationsApplied);
   }
+  obs::emit_instant(obs::Instant::kMigrationBatch, moved);
 }
 
 const ActiveTask& MachineState::active_task(TaskId id) const {

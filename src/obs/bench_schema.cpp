@@ -78,6 +78,9 @@ util::json::Value to_json(const BenchReport& report) {
     if (suite.counter_overhead_pct >= 0.0) {
       s.emplace("counter_overhead_pct", suite.counter_overhead_pct);
     }
+    if (suite.trace_overhead_pct >= 0.0) {
+      s.emplace("trace_overhead_pct", suite.trace_overhead_pct);
+    }
     suites.emplace_back(std::move(s));
   }
 
@@ -119,6 +122,9 @@ BenchReport report_from_json(const util::json::Value& v) {
     suite.counters = counters_from_json(s.at("counters"));
     if (const util::json::Value* o = s.find("counter_overhead_pct")) {
       suite.counter_overhead_pct = o->as_double();
+    }
+    if (const util::json::Value* o = s.find("trace_overhead_pct")) {
+      suite.trace_overhead_pct = o->as_double();
     }
     report.suites.push_back(std::move(suite));
   }

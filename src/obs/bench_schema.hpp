@@ -14,7 +14,8 @@
 //                   "wall_ms": [..], "median_ms": m, "p90_ms": p,
 //                   "mean_ms": a, "min_ms": lo,
 //                   "counters": { "events_processed": ..., ... },
-//                   "counter_overhead_pct": x   // only the overhead suite
+//                   "counter_overhead_pct": x,  // only the overhead suites
+//                   "trace_overhead_pct": y
 //                 }, ... ] }
 #pragma once
 
@@ -40,6 +41,11 @@ struct BenchSuite {
   /// Counters-enabled vs disabled overhead, percent; < 0 when the suite
   /// did not measure it.
   double counter_overhead_pct = -1.0;
+  /// What the tracing subsystem costs while DISABLED, percent: default
+  /// runs (always-on flight-recorder store) vs bare runs with the
+  /// recorder switched off. < 0 when the suite did not measure it. The
+  /// recorded wall times of the measuring suite are the default runs.
+  double trace_overhead_pct = -1.0;
 
   /// Fills median/p90/mean/min from wall_ms.
   void finalize_stats();

@@ -4,12 +4,12 @@
 #include <chrono>
 
 #include "obs/shard_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace partree::obs {
 namespace {
 
 std::atomic<bool> g_timing_enabled{false};
-std::atomic<TraceHook> g_trace_hook{nullptr};
 
 // Leaked on purpose; see counters.cpp.
 detail::ShardRegistry<PhaseTimes>& registry() {
@@ -26,6 +26,7 @@ std::string_view phase_name(Phase p) noexcept {
     case Phase::kDeparture: return "departure";
     case Phase::kBookkeeping: return "bookkeeping";
     case Phase::kParallelRegion: return "parallel_region";
+    case Phase::kParallelWorker: return "parallel_worker";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -37,10 +38,6 @@ void set_timing_enabled(bool enabled) noexcept {
 
 bool timing_enabled() noexcept {
   return g_timing_enabled.load(std::memory_order_relaxed);
-}
-
-void set_trace_hook(TraceHook hook) noexcept {
-  g_trace_hook.store(hook, std::memory_order_relaxed);
 }
 
 PhaseTimes global_phase_times() { return registry().aggregate(); }
@@ -57,13 +54,12 @@ std::uint64_t monotonic_ns() noexcept {
   return ns <= 0 ? 1 : static_cast<std::uint64_t>(ns);
 }
 
-void record_span(Phase phase, std::uint64_t duration_ns) noexcept {
+void record_span(Phase phase, std::uint64_t start_ns,
+                 std::uint64_t end_ns) noexcept {
   PhaseTimes& shard = registry().local();
-  shard.ns[static_cast<std::size_t>(phase)] += duration_ns;
+  shard.ns[static_cast<std::size_t>(phase)] += end_ns - start_ns;
   ++shard.spans[static_cast<std::size_t>(phase)];
-  if (const TraceHook hook = g_trace_hook.load(std::memory_order_relaxed)) {
-    hook(phase, duration_ns);
-  }
+  if (tracing_enabled()) emit_span(phase, start_ns, end_ns);
 }
 
 }  // namespace detail

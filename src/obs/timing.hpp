@@ -1,4 +1,4 @@
-// Phase timing and tracing.
+// Phase timing.
 //
 // `ScopedTimer` brackets one engine phase with the monotonic clock and
 // accumulates the elapsed nanoseconds into a per-thread shard (same
@@ -6,10 +6,10 @@
 // default: two steady_clock reads per event are measurable on small
 // machines, so the harness switches it on only for phase-breakdown runs.
 //
-// An optional trace hook observes every completed span (phase + duration)
-// for ad-hoc tracing -- e.g. dumping a timeline or feeding a profiler. The
-// hook is a plain function pointer so arming it never adds locking to the
-// hot path.
+// While tracing is armed (obs/trace.hpp), every completed span is also
+// recorded as a structured trace event -- that path is a branch on the
+// tracing flag inside record_span, so the timing-disabled hot path stays
+// one branch in the ScopedTimer constructor.
 #pragma once
 
 #include <array>
@@ -29,6 +29,9 @@ enum class Phase : std::size_t {
   kBookkeeping,
   /// One whole sim::parallel_for region, timed on the calling thread.
   kParallelRegion,
+  /// One worker's lifetime inside a parallel region, timed on the worker
+  /// thread (gives per-thread tracks in timeline exports).
+  kParallelWorker,
   kCount,
 };
 
@@ -63,12 +66,6 @@ struct PhaseTimes {
 void set_timing_enabled(bool enabled) noexcept;
 [[nodiscard]] bool timing_enabled() noexcept;
 
-/// Span observer: (phase, duration_ns). Called inline on the measuring
-/// thread for every completed span while timing is enabled; must be
-/// thread-safe. Pass nullptr to disarm.
-using TraceHook = void (*)(Phase phase, std::uint64_t duration_ns);
-void set_trace_hook(TraceHook hook) noexcept;
-
 /// Sum over all threads since the last reset. Quiescent points only.
 [[nodiscard]] PhaseTimes global_phase_times();
 
@@ -77,7 +74,8 @@ void reset_phase_times();
 
 namespace detail {
 [[nodiscard]] std::uint64_t monotonic_ns() noexcept;
-void record_span(Phase phase, std::uint64_t duration_ns) noexcept;
+void record_span(Phase phase, std::uint64_t start_ns,
+                 std::uint64_t end_ns) noexcept;
 }  // namespace detail
 
 /// RAII span: measures construction-to-destruction on the monotonic clock
@@ -90,7 +88,7 @@ class ScopedTimer {
 
   ~ScopedTimer() {
     if (start_ns_ != 0) {
-      detail::record_span(phase_, detail::monotonic_ns() - start_ns_);
+      detail::record_span(phase_, start_ns_, detail::monotonic_ns());
     }
   }
 

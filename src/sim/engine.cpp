@@ -5,12 +5,21 @@
 
 #include "obs/counters.hpp"
 #include "obs/timing.hpp"
+#include "obs/trace.hpp"
 #include "sim/slowdown.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
 namespace partree::sim {
 namespace {
+
+// debug_checks violation: preserve the evidence (flight record, counters,
+// phase times) before aborting -- the last K engine events usually point
+// straight at the mutation that corrupted the state.
+void invariant_failure(const char* msg) {
+  obs::write_crash_dump(msg);
+  util::assert_fail("debug_checks", __FILE__, __LINE__, msg);
+}
 
 // EngineOptions::debug_checks: recompute the aggregates the O(log N)
 // incremental updates maintain and compare. Catches drift introduced by
@@ -20,18 +29,47 @@ void check_state_invariants(const core::MachineState& state) {
   const std::vector<std::uint64_t> loads = state.pe_loads();
   const std::uint64_t max_load =
       loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
-  PARTREE_ASSERT(state.max_load() == max_load,
-                 "debug check: LoadTree max_load != max over pe_loads");
+  if (state.max_load() != max_load) {
+    invariant_failure("debug check: LoadTree max_load != max over pe_loads");
+  }
 
   std::uint64_t active_size = 0;
   for (const core::ActiveTask& at : state.active_tasks()) {
     active_size += at.task.size;
   }
-  PARTREE_ASSERT(state.active_size() == active_size,
-                 "debug check: LoadTree total != sum of active task sizes");
-  PARTREE_ASSERT(state.loads().active_tasks() == state.active_count(),
-                 "debug check: active task counts disagree");
+  if (state.active_size() != active_size) {
+    invariant_failure(
+        "debug check: LoadTree total != sum of active task sizes");
+  }
+  if (state.loads().active_tasks() != state.active_count()) {
+    invariant_failure("debug check: active task counts disagree");
+  }
 }
+
+// Arms the trace sink + timing for one traced run and restores both on
+// scope exit (including the drain, so the sink sees the full run).
+class ScopedTraceArm {
+ public:
+  explicit ScopedTraceArm(obs::TraceSink* sink)
+      : armed_(sink != nullptr), timing_was_(obs::timing_enabled()) {
+    if (armed_) {
+      obs::set_trace_sink(sink);
+      obs::set_timing_enabled(true);
+    }
+  }
+  ~ScopedTraceArm() {
+    if (armed_) {
+      obs::set_trace_sink(nullptr);  // flushes every live ring first
+      obs::set_timing_enabled(timing_was_);
+    }
+  }
+  ScopedTraceArm(const ScopedTraceArm&) = delete;
+  ScopedTraceArm& operator=(const ScopedTraceArm&) = delete;
+
+ private:
+  bool armed_;
+  bool timing_was_;
+};
 
 }  // namespace
 
@@ -50,6 +88,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
                                   core::Allocator& allocator,
                                   core::TaskSequence* recorded) {
   util::Timer timer;
+  const ScopedTraceArm trace_arm(options_.trace);
   const obs::Counters counters_before = obs::thread_counters();
   allocator.reset();
   core::MachineState state(topo_);
@@ -77,6 +116,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
           ++result.reallocation_count;
           reallocated = true;
           obs::bump(obs::Counter::kReallocRounds);
+          obs::emit_instant(obs::Instant::kReallocRound, migrations->size());
           if (options_.on_reallocation) options_.on_reallocation(*migrations);
           for (const core::Migration& m : *migrations) {
             if (m.from != m.to) {
@@ -97,6 +137,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
       }
       ++result.arrivals;
       obs::bump(obs::Counter::kArrivals);
+      obs::emit_instant(obs::Instant::kArrival, task.id);
     } else {
       const obs::ScopedTimer departure_timer(obs::Phase::kDeparture);
       if (recorded != nullptr) recorded->depart(event->task.id);
@@ -105,6 +146,7 @@ SimResult Engine::run_interactive(core::EventSource& source,
       state.remove(event->task.id);
       ++result.departures;
       obs::bump(obs::Counter::kDepartures);
+      obs::emit_instant(obs::Instant::kDeparture, event->task.id);
     }
     ++result.events;
     obs::bump(obs::Counter::kEventsProcessed);
@@ -121,6 +163,12 @@ SimResult Engine::run_interactive(core::EventSource& source,
       }
     }
     if (options_.record_series) result.load_series.push_back(load);
+    if (obs::tracing_enabled() &&
+        result.events % std::max<std::uint64_t>(
+                            options_.trace_sample_every, 1) == 0) {
+      obs::emit_counters(load, state.optimal_load(), state.active_size(),
+                         state.active_count());
+    }
     if (options_.debug_checks) check_state_invariants(state);
   }
 

@@ -11,6 +11,10 @@
 #include "core/sequence.hpp"
 #include "sim/result.hpp"
 
+namespace partree::obs {
+class TraceSink;
+}  // namespace partree::obs
+
 namespace partree::sim {
 
 struct EngineOptions {
@@ -24,8 +28,18 @@ struct EngineOptions {
   /// Validate the load-accounting invariants after every event:
   /// LoadTree::max_load() must equal max over pe_loads(), the total active
   /// size must equal the sum of active task sizes, and the active-task
-  /// counts must agree. O(N) per event; aborts on violation. For tests.
+  /// counts must agree. O(N) per event; on violation, writes the flight
+  /// record + counters + phase times as a crash dump (obs::write_crash_dump)
+  /// and aborts. For tests.
   bool debug_checks = false;
+  /// When non-null, the run is traced: the global trace layer is armed
+  /// with this sink and timing is enabled for the duration, so phase
+  /// spans, engine instants, and periodic counter samples land in the
+  /// sink (drained at run end). At most one traced run at a time -- the
+  /// sink and timing switch are process-wide.
+  obs::TraceSink* trace = nullptr;
+  /// Events between counter samples while tracing (>= 1).
+  std::uint64_t trace_sample_every = 64;
   /// Invoked with each reallocation's migration list BEFORE it is applied
   /// (placements in `from` are still live); used e.g. to price migrations
   /// on a concrete interconnect.

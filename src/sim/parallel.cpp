@@ -34,6 +34,10 @@ void run_pool(std::size_t n,
   std::mutex error_mutex;
 
   auto worker = [&](std::size_t w) {
+    // Timed on the worker thread: with tracing armed, each worker gets its
+    // own lifetime span (and ring), so the timeline shows one track per
+    // pool thread.
+    const obs::ScopedTimer worker_timer(obs::Phase::kParallelWorker);
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

@@ -136,4 +136,9 @@ void LoadTree::clear() {
   active_tasks_ = 0;
 }
 
+void LoadTree::debug_corrupt_add(NodeId v, std::uint64_t count) {
+  PARTREE_ASSERT(topo_.valid(v), "invalid node");
+  add_[v] = count;  // aggregates deliberately left stale
+}
+
 }  // namespace partree::tree

@@ -70,6 +70,13 @@ class LoadTree {
 
   void clear();
 
+  /// TEST-ONLY fault injection: overwrites the task count rooted at v
+  /// without touching any aggregate, leaving the tree internally
+  /// inconsistent on purpose so the invariant nets (EngineOptions::
+  /// debug_checks, the flight-recorder crash dump) can be exercised
+  /// against a genuinely corrupted tree. Never call outside tests.
+  void debug_corrupt_add(NodeId v, std::uint64_t count);
+
  private:
   void update_path(NodeId v);
   void min_load_dfs(NodeId v, std::uint32_t levels_left, std::uint64_t prefix,

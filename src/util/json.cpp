@@ -136,30 +136,34 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape", pos_);
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape", pos_);
+          unsigned code = hex4();
+          if (code >= 0xD800 && code < 0xDC00) {
+            // High surrogate: must be followed by \uDC00..\uDFFF; the pair
+            // encodes one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired surrogate", pos_);
             }
+            pos_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("unpaired surrogate", pos_);
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code < 0xE000) {
+            fail("unpaired surrogate", pos_);
           }
-          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
-          // BENCH files only carry ASCII).
+          // UTF-8 encode the code point (1..4 bytes).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
@@ -168,6 +172,26 @@ class Parser {
         default: fail("unknown escape", pos_ - 1);
       }
     }
+  }
+
+  /// Four hex digits of a \u escape; leaves pos_ past them.
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape", pos_);
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad \\u escape", pos_);
+      }
+    }
+    return code;
   }
 
   Value number() {
@@ -268,24 +292,80 @@ const Value& Value::at(std::string_view key) const {
 
 std::string quote(std::string_view s) {
   std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+  const auto escape_u = [&out](unsigned code) {
+    char buf[8];
+    if (code >= 0x10000) {
+      // Supplementary plane: UTF-16 surrogate pair, per the JSON grammar.
+      code -= 0x10000;
+      std::snprintf(buf, sizeof(buf), "\\u%04x", 0xD800u + (code >> 10));
+      out += buf;
+      std::snprintf(buf, sizeof(buf), "\\u%04x", 0xDC00u + (code & 0x3FF));
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "\\u%04x", code);
+      out += buf;
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            escape_u(c);
+          } else {
+            out.push_back(static_cast<char>(c));
+          }
+      }
+      ++i;
+      continue;
+    }
+    // Non-ASCII: decode one UTF-8 sequence and emit it as \u escapes so
+    // the output is pure ASCII (safe for any downstream consumer). An
+    // invalid sequence becomes one U+FFFD replacement character per lead
+    // byte rather than corrupting the document.
+    unsigned code = 0;
+    std::size_t len = 0;
+    if ((c & 0xE0) == 0xC0) {
+      code = c & 0x1Fu;
+      len = 2;
+    } else if ((c & 0xF0) == 0xE0) {
+      code = c & 0x0Fu;
+      len = 3;
+    } else if ((c & 0xF8) == 0xF0) {
+      code = c & 0x07u;
+      len = 4;
+    }
+    bool ok = len != 0 && i + len <= s.size();
+    for (std::size_t k = 1; ok && k < len; ++k) {
+      const unsigned char cont = static_cast<unsigned char>(s[i + k]);
+      if ((cont & 0xC0) != 0x80) {
+        ok = false;
+      } else {
+        code = (code << 6) | (cont & 0x3Fu);
+      }
+    }
+    // Reject overlong encodings, surrogate code points, and out-of-range.
+    if (ok && ((len == 2 && code < 0x80) || (len == 3 && code < 0x800) ||
+               (len == 4 && code < 0x10000) ||
+               (code >= 0xD800 && code < 0xE000) || code > 0x10FFFF)) {
+      ok = false;
+    }
+    if (ok) {
+      escape_u(code);
+      i += len;
+    } else {
+      escape_u(0xFFFD);
+      ++i;
     }
   }
   out.push_back('"');

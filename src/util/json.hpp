@@ -89,7 +89,11 @@ class Value {
 /// rejected). Throws std::runtime_error with a byte offset on error.
 [[nodiscard]] Value parse(std::string_view text);
 
-/// Escapes a string per JSON rules (quotes included).
+/// Escapes a string per JSON rules (quotes included). Control characters
+/// use short escapes or \u00xx; non-ASCII input is treated as UTF-8 and
+/// emitted as \uXXXX escapes (surrogate pairs beyond the BMP), so the
+/// output is pure ASCII. Invalid UTF-8 bytes become U+FFFD. Valid UTF-8
+/// therefore round-trips byte-identically through parse(quote(s)).
 [[nodiscard]] std::string quote(std::string_view s);
 
 }  // namespace partree::util::json

@@ -32,6 +32,15 @@ BenchReport sample_report() {
   sweep.counter_overhead_pct = 1.25;
   sweep.finalize_stats();
   report.suites.push_back(sweep);
+
+  BenchSuite trace;
+  trace.name = "trace_overhead_greedy_sweep";
+  trace.n = 1024;
+  trace.reps = 5;
+  trace.wall_ms = {100.0, 101.0, 99.0, 100.5, 99.5};
+  trace.trace_overhead_pct = 2.5;
+  trace.finalize_stats();
+  report.suites.push_back(trace);
   return report;
 }
 
@@ -68,6 +77,7 @@ TEST(BenchSchemaTest, JsonRoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(a.p90_ms, b.p90_ms);
     EXPECT_EQ(a.counters, b.counters);
     EXPECT_DOUBLE_EQ(a.counter_overhead_pct, b.counter_overhead_pct);
+    EXPECT_DOUBLE_EQ(a.trace_overhead_pct, b.trace_overhead_pct);
   }
 
   // Serialization is canonical: dumping the parsed report reproduces the
@@ -119,7 +129,7 @@ TEST(BenchSchemaTest, MissingSuiteIsFlagged) {
   current.suites.pop_back();
   const auto regressions = compare_reports(baseline, current);
   ASSERT_EQ(regressions.size(), 1u);
-  EXPECT_EQ(regressions[0].suite, "greedy_sweep_e2");
+  EXPECT_EQ(regressions[0].suite, "trace_overhead_greedy_sweep");
   EXPECT_LT(regressions[0].current_ms, 0.0);
 }
 

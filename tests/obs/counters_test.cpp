@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/timing.hpp"
+#include "obs/trace.hpp"
 #include "sim/parallel.hpp"
 
 namespace partree::obs {
@@ -113,30 +114,24 @@ TEST(TimingTest, ScopedTimerRecordsOnlyWhenEnabled) {
   reset_phase_times();
 }
 
-namespace trace_capture {
-int spans = 0;
-std::uint64_t total_ns = 0;
-void hook(Phase, std::uint64_t ns) {
-  ++spans;
-  total_ns += ns;
-}
-}  // namespace trace_capture
-
-TEST(TimingTest, TraceHookSeesEverySpan) {
+TEST(TimingTest, ArmedSinkSeesEverySpan) {
   reset_phase_times();
+  CountingTraceSink sink;
   set_timing_enabled(true);
-  set_trace_hook(&trace_capture::hook);
+  set_trace_sink(&sink);
   {
     const ScopedTimer t(Phase::kBookkeeping);
   }
   {
     const ScopedTimer t(Phase::kDeparture);
   }
-  set_trace_hook(nullptr);
+  set_trace_sink(nullptr);  // disarming drains the calling thread's ring
   set_timing_enabled(false);
 
-  EXPECT_EQ(trace_capture::spans, 2);
-  EXPECT_GT(trace_capture::total_ns, 0u);
+  EXPECT_EQ(sink.spans(Phase::kBookkeeping), 1u);
+  EXPECT_EQ(sink.spans(Phase::kDeparture), 1u);
+  EXPECT_EQ(sink.spans(Phase::kPlace), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
   reset_phase_times();
 }
 

@@ -66,6 +66,45 @@ TEST(JsonTest, EscapesRoundTrip) {
   EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
 }
 
+TEST(JsonTest, Utf8EscapesToAsciiAndRoundTrips) {
+  // 2-byte (é), 3-byte (€), and 4-byte astral (𝄞, U+1D11E) sequences mixed
+  // with the short escapes; trace event names exercise exactly this.
+  const std::string raw = "phase \"réalloc\"\n\t\xe2\x82\xac \xf0\x9d\x84\x9e";
+  const std::string quoted = quote(raw);
+  for (const char c : quoted) {
+    EXPECT_GE(c, 0x20) << "quoted output must be pure printable ASCII";
+    EXPECT_LT(static_cast<unsigned char>(c), 0x80u);
+  }
+  EXPECT_NE(quoted.find("\\u00e9"), std::string::npos);   // é
+  EXPECT_NE(quoted.find("\\u20ac"), std::string::npos);   // €
+  EXPECT_NE(quoted.find("\\ud834"), std::string::npos);   // 𝄞 high surrogate
+  EXPECT_NE(quoted.find("\\udd1e"), std::string::npos);   // 𝄞 low surrogate
+  EXPECT_EQ(parse(quoted).as_string(), raw);
+
+  // Full Value round trip through dump(): keys and strings survive.
+  Object obj;
+  obj.emplace("na\xc3\xafve key", Value(raw));
+  const Value original{std::move(obj)};
+  EXPECT_EQ(parse(original.dump()), original);
+}
+
+TEST(JsonTest, InvalidUtf8BecomesReplacementCharacter) {
+  // Lone continuation byte, truncated lead, overlong encoding: each lead
+  // byte collapses to U+FFFD instead of emitting broken escapes.
+  EXPECT_EQ(parse(quote("a\x80z")).as_string(), "a\xef\xbf\xbdz");
+  EXPECT_EQ(parse(quote("a\xc3")).as_string(), "a\xef\xbf\xbd");
+  EXPECT_EQ(parse(quote("\xc0\xaf")).as_string(),
+            "\xef\xbf\xbd\xef\xbf\xbd");  // overlong '/': both bytes invalid
+}
+
+TEST(JsonTest, SurrogatePairParsing) {
+  EXPECT_EQ(parse(R"("𝄞")").as_string(), "\xf0\x9d\x84\x9e");
+  EXPECT_EQ(parse(R"("\ud834\udd1e")").as_string(), "\xf0\x9d\x84\x9e");
+  EXPECT_THROW((void)parse(R"("\ud834")"), std::runtime_error);
+  EXPECT_THROW((void)parse(R"("\ud834A")"), std::runtime_error);
+  EXPECT_THROW((void)parse(R"("\udd1e")"), std::runtime_error);
+}
+
 TEST(JsonTest, MalformedInputThrows) {
   EXPECT_THROW((void)parse(""), std::runtime_error);
   EXPECT_THROW((void)parse("{"), std::runtime_error);
