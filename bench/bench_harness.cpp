@@ -2,7 +2,8 @@
 //
 // Runs a fixed, seeded suite of performance scenarios -- allocator
 // micro-ops, the E2 greedy campaign sweep, the E3 tradeoff sweep, raw
-// engine replay throughput, and a counter-overhead measurement -- with
+// engine replay throughput, run_trials batches through the persistent
+// worker pool, and counter/trace overhead measurements -- with
 // warmup + repetitions, and writes a machine-readable BENCH_<date>.json
 // (schema: src/obs/bench_schema.hpp). `bench_diff` compares two such
 // files and gates on regressions; every future perf PR proves itself
@@ -29,6 +30,7 @@
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
+#include "sim/trials.hpp"
 #include "tree/load_tree.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -45,6 +47,10 @@ struct HarnessConfig {
   bool smoke = false;
   /// Event-budget multiplier; --smoke drops it to a fraction.
   double scale = 1.0;
+  /// Worker threads for the parallel suites; 0 defers to each suite's
+  /// own default (the pool suite picks 2 so single-core hosts still
+  /// exercise the worker pool rather than the serial inline path).
+  std::uint64_t n_threads = 0;
 };
 
 /// Times `body` warmup+reps times; counter totals are the global delta
@@ -165,7 +171,33 @@ void engine_replay_body(const HarnessConfig& config) {
   }
 }
 
-// Suite 5: counters-enabled vs counters-disabled medians of the greedy
+// Suite 5: run_trials batches dispatched through the persistent worker
+// pool -- 8 back-to-back batches of 16 seeded trials each, so the pool's
+// region setup/join cost (not thread spawn cost, which the pool amortizes
+// away) is what this suite times. Uses an explicit worker count by
+// default because single-core hosts would otherwise resolve to the
+// serial inline path and never touch the pool.
+void trial_batch_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 32 : 64;
+  const tree::Topology topo(n);
+  util::Rng rng(config.seed + 19);
+  workload::ClosedLoopParams params;
+  params.n_events = static_cast<std::uint64_t>(1200 * config.scale) + 50;
+  params.utilization = 0.7;
+  params.size = workload::SizeSpec::uniform_log(0, topo.height());
+  const auto seq = workload::closed_loop(topo, params, rng);
+
+  sim::TrialOptions topt;
+  topt.trials = 16;
+  topt.seed = config.seed;
+  topt.n_threads = config.n_threads != 0 ? config.n_threads : 2;
+  const int batches = config.smoke ? 2 : 8;
+  for (int batch = 0; batch < batches; ++batch) {
+    (void)sim::run_trials(topo, seq, "random", topt);
+  }
+}
+
+// Suite 6: counters-enabled vs counters-disabled medians of the greedy
 // sweep; the recorded wall times are the ENABLED runs and
 // counter_overhead_pct is the acceptance metric (< 5%).
 obs::BenchSuite counter_overhead_suite(const HarnessConfig& config) {
@@ -206,7 +238,7 @@ obs::BenchSuite counter_overhead_suite(const HarnessConfig& config) {
   return suite;
 }
 
-// Suite 6: what the tracing subsystem costs while DISABLED -- the default
+// Suite 7: what the tracing subsystem costs while DISABLED -- the default
 // path every other suite and every user run takes, which now carries one
 // flight-recorder store per engine instant. The recorded wall times are
 // those default runs (so bench_diff gates them against the baseline like
@@ -343,12 +375,16 @@ int main(int argc, char** argv) {
              "write a Chrome trace of one traced E2 greedy sweep here and "
              "exit (no bench report)",
              "");
+  cli.option("n-threads",
+             "worker threads for the parallel suites (0 = suite default)",
+             "0");
   if (!bench::parse_standard(cli, argc, argv)) return 1;
 
   bench::HarnessConfig config;
   config.reps = cli.get_u64("reps");
   config.warmup = cli.get_u64("warmup");
   config.seed = cli.get_u64("seed");
+  config.n_threads = cli.get_u64("n-threads");
   if (cli.get_flag("smoke")) {
     config.smoke = true;
     config.scale = 0.05;
@@ -370,7 +406,8 @@ int main(int argc, char** argv) {
   obs::BenchReport report;
   report.date = bench::today_iso();
   report.git_sha = bench::git_short_sha();
-  report.n_threads = sim::default_thread_count();
+  report.n_threads = config.n_threads != 0 ? config.n_threads
+                                           : sim::default_thread_count();
   report.smoke = config.smoke;
 
   obs::reset_counters();
@@ -388,6 +425,9 @@ int main(int argc, char** argv) {
   report.suites.push_back(bench::run_suite(
       "engine_replay", config.smoke ? 512 : 4096, config,
       [&] { bench::engine_replay_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "trial_batch_pool", config.smoke ? 32 : 64, config,
+      [&] { bench::trial_batch_body(config); }));
   report.suites.push_back(bench::counter_overhead_suite(config));
   report.suites.push_back(bench::trace_overhead_suite(config));
 

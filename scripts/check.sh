@@ -6,17 +6,43 @@
 # through bench_diff against itself.
 #
 #   scripts/check.sh [build-dir]     # default build-asan
+#   scripts/check.sh --tsan [build-dir]
+#
+# --tsan swaps the sanitizer to ThreadSanitizer (default dir build-tsan)
+# and runs only the tier1 tests: the persistent worker pool keeps threads
+# alive across parallel regions, so the whole suite doubles as a race
+# detector for the pool's dispatch/cancellation/shutdown protocol. TSan
+# cannot be combined with ASan, hence the separate build tree.
 set -euo pipefail
-BUILD="${1:-build-asan}"
+
+MODE=asan
+if [[ "${1:-}" == "--tsan" ]]; then
+  MODE=tsan
+  shift
+fi
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+if [[ "$MODE" == "tsan" ]]; then
+  BUILD="${1:-build-tsan}"
+  SAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+else
+  BUILD="${1:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+fi
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build "$BUILD" -j "$(nproc)"
+
+if [[ "$MODE" == "tsan" ]]; then
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
+  echo "check.sh: OK (TSan tier1)"
+  exit 0
+fi
 
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
 

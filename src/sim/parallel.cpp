@@ -1,64 +1,10 @@
 #include "sim/parallel.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
 
-#include "obs/counters.hpp"
-#include "obs/timing.hpp"
+#include "sim/pool.hpp"
 
 namespace partree::sim {
-namespace {
-
-// Shared driver: fn receives (worker, i).
-void run_pool(std::size_t n,
-              const std::function<void(std::size_t, std::size_t)>& fn,
-              std::size_t n_threads) {
-  if (n == 0) return;
-  n_threads = resolve_thread_count(n, n_threads);
-
-  const obs::ScopedTimer region_timer(obs::Phase::kParallelRegion);
-
-  if (n_threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      fn(0, i);
-      obs::bump(obs::Counter::kParallelTasks);
-    }
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&](std::size_t w) {
-    // Timed on the worker thread: with tracing armed, each worker gets its
-    // own lifetime span (and ring), so the timeline shows one track per
-    // pool thread.
-    const obs::ScopedTimer worker_timer(obs::Phase::kParallelWorker);
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(w, i);
-        obs::bump(obs::Counter::kParallelTasks);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker, t);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-}  // namespace
 
 std::size_t default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -73,14 +19,14 @@ std::size_t resolve_thread_count(std::size_t n,
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t n_threads) {
-  run_pool(
+  WorkerPool::instance().run(
       n, [&fn](std::size_t, std::size_t i) { fn(i); }, n_threads);
 }
 
 void parallel_for_workers(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t n_threads) {
-  run_pool(n, fn, n_threads);
+  WorkerPool::instance().run(n, fn, n_threads);
 }
 
 }  // namespace partree::sim

@@ -1,8 +1,12 @@
-// Minimal thread-pool parallel_for for benchmark sweeps and trial batches.
+// parallel_for over the persistent worker pool (sim/pool.hpp).
 //
 // The workloads here are embarrassingly parallel (independent simulations),
-// so a dynamic index queue over std::thread workers is all we need; results
-// are written to pre-sized slots so no synchronisation beyond the counter.
+// so a dynamic index queue over pooled workers is all we need; results are
+// written to pre-sized slots so no synchronisation beyond the ticket
+// counter. Both entry points share the process-wide sim::WorkerPool --
+// workers start lazily on the first multi-threaded region and persist, so
+// back-to-back regions pay a condition-variable dispatch instead of a
+// thread spawn/join cycle.
 #pragma once
 
 #include <cstddef>
@@ -14,10 +18,12 @@ namespace partree::sim {
 /// at least 1.
 [[nodiscard]] std::size_t default_thread_count() noexcept;
 
-/// Runs fn(0..n-1) across a pool of workers (dynamic scheduling). Any
-/// exception thrown by `fn` is rethrown on the calling thread after all
-/// workers finish. `n_threads == 0` selects default_thread_count(); pass 1
-/// to force serial execution (useful under sanitizers or for debugging).
+/// Runs fn(0..n-1) across the persistent worker pool (dynamic chunked
+/// scheduling). The FIRST exception thrown by `fn` cancels the region --
+/// in-flight items finish, queued items are skipped -- and is rethrown on
+/// the calling thread at the join point. `n_threads == 0` selects
+/// default_thread_count(); pass 1 to force serial inline execution
+/// (useful under sanitizers or for debugging).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t n_threads = 0);
 
@@ -27,11 +33,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                                                std::size_t n_threads) noexcept;
 
 /// As parallel_for, but fn additionally receives the worker index in
-/// [0, resolve_thread_count(n, n_threads)): fn(worker, i). Workers own
-/// disjoint index streams, so a per-worker accumulator slot is race-free.
-/// Dynamic scheduling means the worker->i assignment is NOT deterministic
-/// across runs -- only use per-worker state whose fold is order-independent
-/// (e.g. integer sums).
+/// [0, resolve_thread_count(n, n_threads)): fn(worker, i). A worker index
+/// is bound to one pool thread for the whole region, so a per-worker
+/// accumulator slot is race-free. Dynamic scheduling means the worker->i
+/// assignment is NOT deterministic across runs -- only use per-worker
+/// state whose fold is order-independent (e.g. integer sums).
 void parallel_for_workers(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t n_threads = 0);

@@ -1,0 +1,99 @@
+// Persistent worker pool behind parallel_for / parallel_for_workers.
+//
+// Every parallel region used to spawn and join fresh std::threads; on the
+// trial/bench hot path that spawn/join cost is exactly the thread-management
+// overhead the paper trades against. The pool keeps one set of workers
+// alive for the process lifetime instead:
+//
+//   * lazy start  -- no threads exist until the first multi-worker region;
+//     the pool grows (never shrinks) to the largest worker count requested.
+//   * chunked atomic-ticket dispatch -- workers claim contiguous index
+//     chunks from one atomic counter, so scheduling stays dynamic but the
+//     per-item cost is a fraction of a fetch_add.
+//   * structured cancellation -- the FIRST exception thrown by the body
+//     latches a region-wide cancel flag: in-flight items finish, queued
+//     items (and unclaimed chunks) are skipped, and that first error is
+//     rethrown on the calling thread at the join point.
+//   * explicit shutdown() -- joins every worker for clean ASan/TSan exits;
+//     the next region restarts the pool lazily. The process-wide instance
+//     also shuts itself down at static destruction.
+//
+// Worker-index contract (what run_trials' per-worker partial sums and the
+// per-thread trace rings rely on): fn receives (worker, i) with worker in
+// [0, resolve_thread_count(n, n_threads)), and a given worker index is
+// bound to one OS thread for the whole region, so per-worker accumulator
+// slots are race-free and timeline exports show one track per pool thread.
+// Everything a worker wrote happens-before run() returning (the completion
+// handoff goes through the pool mutex), so the caller may read results
+// without further synchronisation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace partree::sim {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-wide pool used by parallel_for / parallel_for_workers.
+  [[nodiscard]] static WorkerPool& instance();
+
+  /// Runs fn(worker, i) for i in [0, n) across
+  /// resolve_thread_count(n, n_threads) workers and blocks until the
+  /// region completes. A resolved count of 1 runs inline on the calling
+  /// thread (no workers started, indices in order); so does a nested call
+  /// from inside a pool worker, with worker index 0. On an exception the
+  /// first error cancels outstanding work and is rethrown here.
+  void run(std::size_t n,
+           const std::function<void(std::size_t, std::size_t)>& fn,
+           std::size_t n_threads = 0);
+
+  /// Joins and discards every persistent worker. Call at quiescent points
+  /// only (no region in flight on another thread). The pool restarts
+  /// lazily on the next run(); started_workers() drops back to 0.
+  void shutdown();
+
+  /// Persistent workers currently alive (0 before lazy start and after
+  /// shutdown). Grows to the largest worker count any region resolved to.
+  [[nodiscard]] std::size_t started_workers() const;
+
+ private:
+  void ensure_workers_locked(std::size_t k);
+  void worker_main(std::size_t w, std::uint64_t seen_epoch);
+  void execute_region(std::size_t w);
+  [[nodiscard]] static std::size_t chunk_for(std::size_t n,
+                                             std::size_t k) noexcept;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;  ///< workers: new epoch or stop
+  std::condition_variable cv_done_;  ///< callers: region done / pool idle
+  std::vector<std::thread> workers_;
+  std::uint64_t epoch_ = 0;  ///< bumped once per dispatched region
+  bool stop_ = false;
+  bool active_ = false;        ///< a region is in flight
+  std::size_t participants_ = 0;  ///< workers [0, participants_) take part
+  std::size_t running_ = 0;    ///< participants not yet finished (mutex_)
+
+  // Current region; stable while active_ (the caller blocks in run()).
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};  ///< ticket: first unclaimed index
+  std::atomic<bool> cancel_{false};   ///< latched by the first error
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  ///< first error (error_mutex_ during region)
+};
+
+}  // namespace partree::sim

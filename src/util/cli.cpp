@@ -10,16 +10,24 @@
 
 namespace partree::util {
 
-Cli& Cli::option(std::string name, std::string help,
-                 std::optional<std::string> default_value) {
-  specs_.emplace(std::move(name),
-                 Spec{std::move(help), std::move(default_value), false});
+Cli& Cli::declare(std::string name, Spec spec) {
+  const auto [it, inserted] =
+      specs_.emplace(std::move(name), std::move(spec));
+  // emplace on a duplicate silently kept the stale help/default before;
+  // a redeclared name is always a programming error in the binary.
+  PARTREE_ASSERT(inserted,
+                 ("Cli name redeclared: --" + it->first).c_str());
   return *this;
 }
 
+Cli& Cli::option(std::string name, std::string help,
+                 std::optional<std::string> default_value) {
+  return declare(std::move(name),
+                 Spec{std::move(help), std::move(default_value), false});
+}
+
 Cli& Cli::flag(std::string name, std::string help) {
-  specs_.emplace(std::move(name), Spec{std::move(help), std::nullopt, true});
-  return *this;
+  return declare(std::move(name), Spec{std::move(help), std::nullopt, true});
 }
 
 bool Cli::parse(int argc, const char* const* argv) {

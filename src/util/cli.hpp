@@ -17,9 +17,10 @@ namespace partree::util {
 class Cli {
  public:
   /// Declares an option with a help string and optional default.
+  /// Redeclaring a name (as option or flag) is an assertion failure.
   Cli& option(std::string name, std::string help,
               std::optional<std::string> default_value = std::nullopt);
-  /// Declares a boolean flag (present => true).
+  /// Declares a boolean flag (present => true). Same redeclaration rule.
   Cli& flag(std::string name, std::string help);
 
   /// Parses argv. Returns false (after printing usage) on error or --help.
@@ -43,6 +44,8 @@ class Cli {
     std::optional<std::string> default_value;
     bool is_flag = false;
   };
+
+  Cli& declare(std::string name, Spec spec);
 
   std::map<std::string, Spec, std::less<>> specs_;
   std::map<std::string, std::string, std::less<>> values_;

@@ -67,10 +67,18 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
 
 std::vector<std::vector<std::string>> read_csv(std::istream& in) {
   std::vector<std::vector<std::string>> rows;
+  for (CsvRow& row : read_csv_lines(in)) rows.push_back(std::move(row.fields));
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_lines(std::istream& in) {
+  std::vector<CsvRow> rows;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (trim(line).empty()) continue;
-    rows.push_back(parse_csv_line(line));
+    rows.push_back(CsvRow{lineno, parse_csv_line(line)});
   }
   return rows;
 }

@@ -51,4 +51,15 @@ class CsvWriter {
 /// Reads all rows from a stream, skipping blank lines.
 [[nodiscard]] std::vector<std::vector<std::string>> read_csv(std::istream& in);
 
+/// One parsed row together with the 1-based line it came from. Blank lines
+/// are skipped but still advance the line count, so `line` is the real
+/// position in the file -- use it for error messages.
+struct CsvRow {
+  std::size_t line = 0;
+  std::vector<std::string> fields;
+};
+
+/// As read_csv, but each row carries its 1-based source line.
+[[nodiscard]] std::vector<CsvRow> read_csv_lines(std::istream& in);
+
 }  // namespace partree::util

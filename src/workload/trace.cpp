@@ -29,38 +29,38 @@ void write_trace_file(const core::TaskSequence& sequence,
 }
 
 core::TaskSequence read_trace(std::istream& in) {
-  const auto rows = util::read_csv(in);
+  const auto rows = util::read_csv_lines(in);
   if (rows.empty()) return core::TaskSequence{};
   std::vector<core::Event> events;
   // Skip the header if present.
-  std::size_t first = rows[0].size() >= 1 && rows[0][0] == "kind" ? 1 : 0;
+  std::size_t first = rows[0].fields.size() >= 1 && rows[0].fields[0] == "kind"
+                          ? 1
+                          : 0;
   for (std::size_t r = first; r < rows.size(); ++r) {
-    const auto& row = rows[r];
+    const auto& row = rows[r].fields;
+    // Errors cite the 1-based line in the source file (header and blank
+    // lines included), not the index into the parsed-row vector.
+    const std::string where = "trace line " + std::to_string(rows[r].line);
     if (row.size() < 2) {
-      throw std::runtime_error("trace row " + std::to_string(r) +
-                               ": expected at least 2 fields");
+      throw std::runtime_error(where + ": expected at least 2 fields");
     }
     const auto id = util::parse_u64(row[1]);
     if (!id) {
-      throw std::runtime_error("trace row " + std::to_string(r) +
-                               ": bad task id '" + row[1] + "'");
+      throw std::runtime_error(where + ": bad task id '" + row[1] + "'");
     }
     if (row[0] == "arrive") {
       if (row.size() < 3) {
-        throw std::runtime_error("trace row " + std::to_string(r) +
-                                 ": arrival missing size");
+        throw std::runtime_error(where + ": arrival missing size");
       }
       const auto size = util::parse_u64(row[2]);
       if (!size || *size == 0) {
-        throw std::runtime_error("trace row " + std::to_string(r) +
-                                 ": bad size '" + row[2] + "'");
+        throw std::runtime_error(where + ": bad size '" + row[2] + "'");
       }
       events.push_back(core::Event::arrival(*id, *size));
     } else if (row[0] == "depart") {
       events.push_back(core::Event::departure(*id));
     } else {
-      throw std::runtime_error("trace row " + std::to_string(r) +
-                               ": unknown kind '" + row[0] + "'");
+      throw std::runtime_error(where + ": unknown kind '" + row[0] + "'");
     }
   }
   return core::TaskSequence(std::move(events));

@@ -12,6 +12,8 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "sim/pool.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "workload/synthetic.hpp"
@@ -160,6 +162,49 @@ TEST(ChromeTraceTest, WriteFileRoundTrips) {
   buf << in.rdbuf();
   const util::json::Value doc = util::json::parse(buf.str());
   EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+}
+
+// Persistent pool workers keep one stable trace ring (and so one timeline
+// track) each across back-to-back parallel regions: three regions on a
+// 2-worker pool must yield exactly two worker tracks plus the caller's
+// region track, not a fresh pair of tracks per region.
+TEST(ChromeTraceTest, BackToBackParallelRegionsKeepOneTrackPerPoolThread) {
+  sim::WorkerPool& pool = sim::WorkerPool::instance();
+  pool.shutdown();  // fresh worker set so track counting is exact
+
+  ChromeTraceSink sink;
+  set_timing_enabled(true);
+  set_trace_sink(&sink);
+  constexpr int kRegions = 3;
+  for (int round = 0; round < kRegions; ++round) {
+    sim::parallel_for(64, [](std::size_t) {}, 2);
+  }
+  set_trace_sink(nullptr);  // flushes the live per-thread rings
+  set_timing_enabled(false);
+
+  EXPECT_EQ(sink.dropped_events(), 0u);
+  EXPECT_EQ(sink.span_count(Phase::kParallelRegion),
+            static_cast<std::uint64_t>(kRegions));
+  // One worker span per worker per region.
+  EXPECT_EQ(sink.span_count(Phase::kParallelWorker),
+            static_cast<std::uint64_t>(2 * kRegions));
+
+  const util::json::Value doc = util::json::parse(sink.document());
+  std::set<std::uint64_t> worker_tids;
+  std::set<std::uint64_t> region_tids;
+  for (const util::json::Value& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() != "X") continue;
+    const std::string name = ev.at("name").as_string();
+    if (name == "parallel_worker") {
+      worker_tids.insert(ev.at("tid").as_u64());
+    } else if (name == "parallel_region") {
+      region_tids.insert(ev.at("tid").as_u64());
+    }
+  }
+  EXPECT_EQ(worker_tids.size(), 2u);
+  EXPECT_EQ(region_tids.size(), 1u);
+
+  pool.shutdown();
 }
 
 TEST(ChromeTraceTest, TracedRunsAreRepeatable) {

@@ -47,8 +47,9 @@ TEST_F(CountersTest, WorkerShardsMergeAtJoin) {
   reset_counters();
   sim::parallel_for(
       100, [](std::size_t) { bump(Counter::kReallocRounds, 2); }, 4);
-  // parallel_for's workers exited (joined) before it returned; their
-  // shards must have been folded into the global view.
+  // parallel_for's pool workers persist after the region joins, but the
+  // region join point is quiescent: aggregate() reads their still-live
+  // shards, so the global view already includes every bump.
   const Counters total = global_counters();
   EXPECT_EQ(total[Counter::kReallocRounds], 200u);
   EXPECT_EQ(total[Counter::kParallelTasks], 100u);

@@ -107,5 +107,34 @@ TEST_P(TrialsDeterminismTest, AggregatesMatchAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Allocators, TrialsDeterminismTest,
                          ::testing::Values("randmix:d=2", "random", "greedy"));
 
+// All three thread-count settings run back to back on the SAME process-wide
+// worker pool: serial inline, an explicit 2-worker pool region, and the
+// host default (which may itself be serial on single-core CI). Persistent
+// workers must not leak state between regions that would perturb results.
+TEST(TrialsDeterminismTest, SamePoolInstanceAcrossThreadCounts) {
+  const tree::Topology topo(32);
+  const auto seq = make_sequence(topo);
+
+  TrialOptions base;
+  base.trials = 6;
+  base.seed = 41;
+
+  std::vector<TrialAggregate> per_setting;
+  for (const std::size_t n_threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{0}}) {
+    TrialOptions opt = base;
+    opt.n_threads = n_threads;
+    per_setting.push_back(run_trials(topo, seq, "randmix:d=2", opt));
+  }
+  for (std::size_t i = 1; i < per_setting.size(); ++i) {
+    EXPECT_EQ(per_setting[0].expected_max_load,
+              per_setting[i].expected_max_load);
+    EXPECT_EQ(per_setting[0].stddev_max_load, per_setting[i].stddev_max_load);
+    EXPECT_EQ(per_setting[0].min_max_load, per_setting[i].min_max_load);
+    EXPECT_EQ(per_setting[0].max_max_load, per_setting[i].max_max_load);
+    EXPECT_EQ(per_setting[0].counters, per_setting[i].counters);
+  }
+}
+
 }  // namespace
 }  // namespace partree::sim

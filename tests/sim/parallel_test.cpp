@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -44,6 +45,58 @@ TEST(ParallelForTest, ExceptionPropagates) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+// Regression for the pre-pool bug where workers kept claiming and
+// executing EVERY remaining item after the first throw (the error only
+// surfaced once the whole index range had been ground through). The
+// pool's cancellation must latch on the first error: in-flight items
+// finish, queued items are skipped, and that first error is rethrown at
+// the join point.
+TEST(ParallelForTest, FirstErrorCancelsOutstandingWork) {
+  constexpr std::size_t kN = 50000;
+  constexpr std::size_t kThrowTicket = 100;
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> after_error{0};
+  std::atomic<bool> thrown{false};
+  try {
+    parallel_for(
+        kN,
+        [&](std::size_t) {
+          const std::size_t ticket = executed.fetch_add(1);
+          if (thrown.load()) after_error.fetch_add(1);
+          if (ticket == kThrowTicket) {
+            thrown.store(true);
+            throw std::runtime_error("boom at ticket 100");
+          }
+        },
+        4);
+    FAIL() << "expected the first worker exception at the join point";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at ticket 100");
+  }
+  // The no-cancellation baseline executes all kN items; cancellation must
+  // leave strictly (and decisively) fewer.
+  EXPECT_LT(executed.load(), kN / 2);
+  // At most roughly one in-flight item per worker completes after the
+  // error latches the cancel flag.
+  EXPECT_LT(after_error.load(), executed.load());
+}
+
+TEST(ParallelForWorkersTest, PerWorkerSlotsAreRaceFree) {
+  constexpr std::size_t kN = 2048;
+  constexpr std::size_t kWorkers = 4;
+  std::vector<std::uint64_t> sums(kWorkers, 0);
+  parallel_for_workers(
+      kN,
+      [&](std::size_t w, std::size_t i) {
+        ASSERT_LT(w, kWorkers);
+        sums[w] += i;
+      },
+      kWorkers);
+  const std::uint64_t total =
+      std::accumulate(sums.begin(), sums.end(), std::uint64_t{0});
+  EXPECT_EQ(total, std::uint64_t{kN} * (kN - 1) / 2);
 }
 
 TEST(ParallelForTest, ResultsWrittenToSlots) {

@@ -1,0 +1,15 @@
+// Shared gtest main for the partree test binaries.
+//
+// Death tests must fork, and the persistent sim::WorkerPool keeps worker
+// threads alive across tests once any parallel region has run. gtest's
+// default "fast" death-test style forks without exec -- unreliable with
+// live threads (and noisy under ThreadSanitizer) -- so default every death
+// test to the "threadsafe" style, which re-executes the test binary.
+// Command-line --gtest_death_test_style still overrides.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

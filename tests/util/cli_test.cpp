@@ -92,6 +92,27 @@ TEST(CliTest, U64List) {
   EXPECT_EQ(sizes[2], 4u);
 }
 
+// Redeclaring a name used to silently keep the stale help/default via
+// map::emplace; it must be an assertion failure instead.
+TEST(CliDeathTest, OptionRedeclarationAsserts) {
+  Cli cli;
+  cli.option("n", "machine size", "64");
+  EXPECT_DEATH(cli.option("n", "different help", "128"),
+               "Cli name redeclared: --n");
+}
+
+TEST(CliDeathTest, FlagRedeclarationAsserts) {
+  Cli cli;
+  cli.flag("verbose", "talk more");
+  EXPECT_DEATH(cli.flag("verbose", "again"), "Cli name redeclared: --verbose");
+}
+
+TEST(CliDeathTest, OptionThenFlagWithSameNameAsserts) {
+  Cli cli;
+  cli.option("csv", "csv output path");
+  EXPECT_DEATH(cli.flag("csv", "emit csv"), "Cli name redeclared: --csv");
+}
+
 TEST(CliTest, UsageMentionsOptions) {
   Cli cli;
   cli.option("n", "machine size", "64");

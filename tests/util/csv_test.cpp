@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace partree::util {
 namespace {
@@ -77,6 +79,26 @@ TEST(CsvTest, ReadCsvSkipsBlankLines) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][0], "a");
   EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvTest, ReadCsvLinesReportsOneBasedFileLines) {
+  std::istringstream in("a,b\nc,d\n");
+  const auto rows = read_csv_lines(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].line, 1u);
+  EXPECT_EQ(rows[1].line, 2u);
+  EXPECT_EQ(rows[0].fields, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1].fields, (std::vector<std::string>{"c", "d"}));
+}
+
+// Blank lines produce no row but still advance the reported file line, so
+// error messages built from CsvRow::line match what an editor shows.
+TEST(CsvTest, ReadCsvLinesCountsSkippedBlankLines) {
+  std::istringstream in("a,b\n\n   \nc,d\n");
+  const auto rows = read_csv_lines(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].line, 1u);
+  EXPECT_EQ(rows[1].line, 4u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "workload/synthetic.hpp"
 
@@ -58,6 +59,52 @@ TEST(TraceTest, RejectsMissingSize) {
 TEST(TraceTest, RejectsZeroSize) {
   std::istringstream in("arrive,0,0\n");
   EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+// Parse errors must cite the 1-based line in the source FILE, not the
+// 0-based index into the parsed-row vector (which is off by one, or by
+// two with a header, and drifts further past blank lines).
+TEST(TraceTest, ErrorCitesFileLineAfterHeader) {
+  // Header is line 1, a valid row line 2, the bad row line 3.
+  std::istringstream in("kind,id,size\narrive,0,4\narrive,notanid,1\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trace line 3: bad task id 'notanid'");
+  }
+}
+
+TEST(TraceTest, ErrorCitesFileLineWithoutHeader) {
+  std::istringstream in("arrive,0,4\nexplode,1,2\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trace line 2: unknown kind 'explode'");
+  }
+}
+
+TEST(TraceTest, ErrorLineAccountsForBlankLines) {
+  // The blank line 2 is skipped by the CSV reader but still counts
+  // toward the reported file position.
+  std::istringstream in("arrive,0,4\n\narrive,1,0\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trace line 3: bad size '0'");
+  }
+}
+
+TEST(TraceTest, ErrorCitesFirstLineForMissingSize) {
+  std::istringstream in("arrive,7\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trace line 1: arrival missing size");
+  }
 }
 
 TEST(TraceTest, FileRoundTrip) {
