@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "partree::partree_util" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_util )
+list(APPEND _cmake_import_check_files_for_partree::partree_util "${_IMPORT_PREFIX}/lib/libpartree_util.a" )
+
+# Import target "partree::partree_obs" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_obs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_obs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_obs.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_obs )
+list(APPEND _cmake_import_check_files_for_partree::partree_obs "${_IMPORT_PREFIX}/lib/libpartree_obs.a" )
+
+# Import target "partree::partree_tree" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_tree APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_tree PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_tree.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_tree )
+list(APPEND _cmake_import_check_files_for_partree::partree_tree "${_IMPORT_PREFIX}/lib/libpartree_tree.a" )
+
+# Import target "partree::partree_core" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_core )
+list(APPEND _cmake_import_check_files_for_partree::partree_core "${_IMPORT_PREFIX}/lib/libpartree_core.a" )
+
+# Import target "partree::partree_adversary" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_adversary APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_adversary PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_adversary.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_adversary )
+list(APPEND _cmake_import_check_files_for_partree::partree_adversary "${_IMPORT_PREFIX}/lib/libpartree_adversary.a" )
+
+# Import target "partree::partree_workload" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_workload )
+list(APPEND _cmake_import_check_files_for_partree::partree_workload "${_IMPORT_PREFIX}/lib/libpartree_workload.a" )
+
+# Import target "partree::partree_sim" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_sim )
+list(APPEND _cmake_import_check_files_for_partree::partree_sim "${_IMPORT_PREFIX}/lib/libpartree_sim.a" )
+
+# Import target "partree::partree_machines" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_machines APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_machines PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_machines.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_machines )
+list(APPEND _cmake_import_check_files_for_partree::partree_machines "${_IMPORT_PREFIX}/lib/libpartree_machines.a" )
+
+# Import target "partree::partree_karytree" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_karytree APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_karytree PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_karytree.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_karytree )
+list(APPEND _cmake_import_check_files_for_partree::partree_karytree "${_IMPORT_PREFIX}/lib/libpartree_karytree.a" )
+
+# Import target "partree::partree_analysis" for configuration "RelWithDebInfo"
+set_property(TARGET partree::partree_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(partree::partree_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpartree_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets partree::partree_analysis )
+list(APPEND _cmake_import_check_files_for_partree::partree_analysis "${_IMPORT_PREFIX}/lib/libpartree_analysis.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab1_packing_ablation.dir/ab1_packing_ablation.cpp.o"
+  "CMakeFiles/ab1_packing_ablation.dir/ab1_packing_ablation.cpp.o.d"
+  "CMakeFiles/ab1_packing_ablation.dir/bench_common.cpp.o"
+  "CMakeFiles/ab1_packing_ablation.dir/bench_common.cpp.o.d"
+  "ab1_packing_ablation"
+  "ab1_packing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab1_packing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

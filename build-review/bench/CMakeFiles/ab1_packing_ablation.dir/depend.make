@@ -1,0 +1,2 @@
+# Empty dependencies file for ab1_packing_ablation.
+# This may be replaced when dependencies are built.

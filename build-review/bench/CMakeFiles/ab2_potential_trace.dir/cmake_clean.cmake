@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab2_potential_trace.dir/ab2_potential_trace.cpp.o"
+  "CMakeFiles/ab2_potential_trace.dir/ab2_potential_trace.cpp.o.d"
+  "CMakeFiles/ab2_potential_trace.dir/bench_common.cpp.o"
+  "CMakeFiles/ab2_potential_trace.dir/bench_common.cpp.o.d"
+  "ab2_potential_trace"
+  "ab2_potential_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab2_potential_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab3_tail_bounds.dir/ab3_tail_bounds.cpp.o"
+  "CMakeFiles/ab3_tail_bounds.dir/ab3_tail_bounds.cpp.o.d"
+  "CMakeFiles/ab3_tail_bounds.dir/bench_common.cpp.o"
+  "CMakeFiles/ab3_tail_bounds.dir/bench_common.cpp.o.d"
+  "ab3_tail_bounds"
+  "ab3_tail_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab3_tail_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

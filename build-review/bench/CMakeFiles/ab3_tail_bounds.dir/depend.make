@@ -1,0 +1,2 @@
+# Empty dependencies file for ab3_tail_bounds.
+# This may be replaced when dependencies are built.

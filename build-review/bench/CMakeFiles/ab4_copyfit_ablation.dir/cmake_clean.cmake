@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab4_copyfit_ablation.dir/ab4_copyfit_ablation.cpp.o"
+  "CMakeFiles/ab4_copyfit_ablation.dir/ab4_copyfit_ablation.cpp.o.d"
+  "CMakeFiles/ab4_copyfit_ablation.dir/bench_common.cpp.o"
+  "CMakeFiles/ab4_copyfit_ablation.dir/bench_common.cpp.o.d"
+  "ab4_copyfit_ablation"
+  "ab4_copyfit_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab4_copyfit_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

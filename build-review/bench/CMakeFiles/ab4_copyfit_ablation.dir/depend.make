@@ -1,0 +1,2 @@
+# Empty dependencies file for ab4_copyfit_ablation.
+# This may be replaced when dependencies are built.

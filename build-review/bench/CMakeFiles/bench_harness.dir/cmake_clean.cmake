@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harness.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_harness.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_harness.dir/bench_harness.cpp.o"
+  "CMakeFiles/bench_harness.dir/bench_harness.cpp.o.d"
+  "bench_harness"
+  "bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_machine_topologies.dir/bench_common.cpp.o"
+  "CMakeFiles/e10_machine_topologies.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e10_machine_topologies.dir/e10_machine_topologies.cpp.o"
+  "CMakeFiles/e10_machine_topologies.dir/e10_machine_topologies.cpp.o.d"
+  "e10_machine_topologies"
+  "e10_machine_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_machine_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

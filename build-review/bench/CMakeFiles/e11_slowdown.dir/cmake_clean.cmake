@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_slowdown.dir/bench_common.cpp.o"
+  "CMakeFiles/e11_slowdown.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e11_slowdown.dir/e11_slowdown.cpp.o"
+  "CMakeFiles/e11_slowdown.dir/e11_slowdown.cpp.o.d"
+  "e11_slowdown"
+  "e11_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

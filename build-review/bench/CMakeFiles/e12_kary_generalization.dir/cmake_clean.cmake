@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_kary_generalization.dir/bench_common.cpp.o"
+  "CMakeFiles/e12_kary_generalization.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e12_kary_generalization.dir/e12_kary_generalization.cpp.o"
+  "CMakeFiles/e12_kary_generalization.dir/e12_kary_generalization.cpp.o.d"
+  "e12_kary_generalization"
+  "e12_kary_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_kary_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_utilization_sweep.dir/bench_common.cpp.o"
+  "CMakeFiles/e13_utilization_sweep.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e13_utilization_sweep.dir/e13_utilization_sweep.cpp.o"
+  "CMakeFiles/e13_utilization_sweep.dir/e13_utilization_sweep.cpp.o.d"
+  "e13_utilization_sweep"
+  "e13_utilization_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_utilization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_optimal_zero_realloc.dir/bench_common.cpp.o"
+  "CMakeFiles/e1_optimal_zero_realloc.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e1_optimal_zero_realloc.dir/e1_optimal_zero_realloc.cpp.o"
+  "CMakeFiles/e1_optimal_zero_realloc.dir/e1_optimal_zero_realloc.cpp.o.d"
+  "e1_optimal_zero_realloc"
+  "e1_optimal_zero_realloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_optimal_zero_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e1_optimal_zero_realloc.
+# This may be replaced when dependencies are built.

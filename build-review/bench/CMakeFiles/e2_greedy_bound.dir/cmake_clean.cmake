@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_greedy_bound.dir/bench_common.cpp.o"
+  "CMakeFiles/e2_greedy_bound.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e2_greedy_bound.dir/e2_greedy_bound.cpp.o"
+  "CMakeFiles/e2_greedy_bound.dir/e2_greedy_bound.cpp.o.d"
+  "e2_greedy_bound"
+  "e2_greedy_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_greedy_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e2_greedy_bound.
+# This may be replaced when dependencies are built.

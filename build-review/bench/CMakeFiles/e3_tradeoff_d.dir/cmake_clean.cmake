@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_tradeoff_d.dir/bench_common.cpp.o"
+  "CMakeFiles/e3_tradeoff_d.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e3_tradeoff_d.dir/e3_tradeoff_d.cpp.o"
+  "CMakeFiles/e3_tradeoff_d.dir/e3_tradeoff_d.cpp.o.d"
+  "e3_tradeoff_d"
+  "e3_tradeoff_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_tradeoff_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

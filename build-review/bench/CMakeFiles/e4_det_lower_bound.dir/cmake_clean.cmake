@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_det_lower_bound.dir/bench_common.cpp.o"
+  "CMakeFiles/e4_det_lower_bound.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e4_det_lower_bound.dir/e4_det_lower_bound.cpp.o"
+  "CMakeFiles/e4_det_lower_bound.dir/e4_det_lower_bound.cpp.o.d"
+  "e4_det_lower_bound"
+  "e4_det_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_det_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

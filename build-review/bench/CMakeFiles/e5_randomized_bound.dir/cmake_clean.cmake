@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_randomized_bound.dir/bench_common.cpp.o"
+  "CMakeFiles/e5_randomized_bound.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e5_randomized_bound.dir/e5_randomized_bound.cpp.o"
+  "CMakeFiles/e5_randomized_bound.dir/e5_randomized_bound.cpp.o.d"
+  "e5_randomized_bound"
+  "e5_randomized_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_randomized_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

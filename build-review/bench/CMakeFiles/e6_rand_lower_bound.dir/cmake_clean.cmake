@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_rand_lower_bound.dir/bench_common.cpp.o"
+  "CMakeFiles/e6_rand_lower_bound.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e6_rand_lower_bound.dir/e6_rand_lower_bound.cpp.o"
+  "CMakeFiles/e6_rand_lower_bound.dir/e6_rand_lower_bound.cpp.o.d"
+  "e6_rand_lower_bound"
+  "e6_rand_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_rand_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

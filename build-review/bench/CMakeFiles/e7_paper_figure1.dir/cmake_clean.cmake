@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_paper_figure1.dir/bench_common.cpp.o"
+  "CMakeFiles/e7_paper_figure1.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e7_paper_figure1.dir/e7_paper_figure1.cpp.o"
+  "CMakeFiles/e7_paper_figure1.dir/e7_paper_figure1.cpp.o.d"
+  "e7_paper_figure1"
+  "e7_paper_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_paper_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_migration_cost.dir/bench_common.cpp.o"
+  "CMakeFiles/e8_migration_cost.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e8_migration_cost.dir/e8_migration_cost.cpp.o"
+  "CMakeFiles/e8_migration_cost.dir/e8_migration_cost.cpp.o.d"
+  "e8_migration_cost"
+  "e8_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

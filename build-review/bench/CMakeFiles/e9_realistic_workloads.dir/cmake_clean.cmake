@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_realistic_workloads.dir/bench_common.cpp.o"
+  "CMakeFiles/e9_realistic_workloads.dir/bench_common.cpp.o.d"
+  "CMakeFiles/e9_realistic_workloads.dir/e9_realistic_workloads.cpp.o"
+  "CMakeFiles/e9_realistic_workloads.dir/e9_realistic_workloads.cpp.o.d"
+  "e9_realistic_workloads"
+  "e9_realistic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_realistic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw1_randomized_realloc.dir/bench_common.cpp.o"
+  "CMakeFiles/fw1_randomized_realloc.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fw1_randomized_realloc.dir/fw1_randomized_realloc.cpp.o"
+  "CMakeFiles/fw1_randomized_realloc.dir/fw1_randomized_realloc.cpp.o.d"
+  "fw1_randomized_realloc"
+  "fw1_randomized_realloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw1_randomized_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fw1_randomized_realloc.
+# This may be replaced when dependencies are built.

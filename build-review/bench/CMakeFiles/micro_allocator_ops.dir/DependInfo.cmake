@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_allocator_ops.cpp" "bench/CMakeFiles/micro_allocator_ops.dir/micro_allocator_ops.cpp.o" "gcc" "bench/CMakeFiles/micro_allocator_ops.dir/micro_allocator_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/adversary/CMakeFiles/partree_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/partree_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/partree_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/machines/CMakeFiles/partree_machines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/partree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/karytree/CMakeFiles/partree_karytree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/partree_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

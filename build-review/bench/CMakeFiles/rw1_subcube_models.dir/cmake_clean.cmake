@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw1_subcube_models.dir/bench_common.cpp.o"
+  "CMakeFiles/rw1_subcube_models.dir/bench_common.cpp.o.d"
+  "CMakeFiles/rw1_subcube_models.dir/rw1_subcube_models.cpp.o"
+  "CMakeFiles/rw1_subcube_models.dir/rw1_subcube_models.cpp.o.d"
+  "rw1_subcube_models"
+  "rw1_subcube_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw1_subcube_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

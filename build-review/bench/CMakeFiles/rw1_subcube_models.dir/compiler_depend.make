@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rw1_subcube_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_partitioning.dir/mesh_partitioning.cpp.o"
+  "CMakeFiles/mesh_partitioning.dir/mesh_partitioning.cpp.o.d"
+  "mesh_partitioning"
+  "mesh_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

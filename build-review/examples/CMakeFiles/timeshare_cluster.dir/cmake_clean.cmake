@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeshare_cluster.dir/timeshare_cluster.cpp.o"
+  "CMakeFiles/timeshare_cluster.dir/timeshare_cluster.cpp.o.d"
+  "timeshare_cluster"
+  "timeshare_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeshare_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

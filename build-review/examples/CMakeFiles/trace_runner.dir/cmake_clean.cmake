@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_runner.dir/trace_runner.cpp.o"
+  "CMakeFiles/trace_runner.dir/trace_runner.cpp.o.d"
+  "trace_runner"
+  "trace_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

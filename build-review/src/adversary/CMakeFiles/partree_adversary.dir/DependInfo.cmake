@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/det_adversary.cpp" "src/adversary/CMakeFiles/partree_adversary.dir/det_adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/partree_adversary.dir/det_adversary.cpp.o.d"
+  "/root/repo/src/adversary/potential.cpp" "src/adversary/CMakeFiles/partree_adversary.dir/potential.cpp.o" "gcc" "src/adversary/CMakeFiles/partree_adversary.dir/potential.cpp.o.d"
+  "/root/repo/src/adversary/rand_sequence.cpp" "src/adversary/CMakeFiles/partree_adversary.dir/rand_sequence.cpp.o" "gcc" "src/adversary/CMakeFiles/partree_adversary.dir/rand_sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/partree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_adversary.dir/det_adversary.cpp.o"
+  "CMakeFiles/partree_adversary.dir/det_adversary.cpp.o.d"
+  "CMakeFiles/partree_adversary.dir/potential.cpp.o"
+  "CMakeFiles/partree_adversary.dir/potential.cpp.o.d"
+  "CMakeFiles/partree_adversary.dir/rand_sequence.cpp.o"
+  "CMakeFiles/partree_adversary.dir/rand_sequence.cpp.o.d"
+  "libpartree_adversary.a"
+  "libpartree_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_analysis.dir/load_distribution.cpp.o"
+  "CMakeFiles/partree_analysis.dir/load_distribution.cpp.o.d"
+  "libpartree_analysis.a"
+  "libpartree_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/partree_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/basic.cpp" "src/core/CMakeFiles/partree_core.dir/basic.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/basic.cpp.o.d"
+  "/root/repo/src/core/drealloc.cpp" "src/core/CMakeFiles/partree_core.dir/drealloc.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/drealloc.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/partree_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/partree_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/machine_state.cpp" "src/core/CMakeFiles/partree_core.dir/machine_state.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/machine_state.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/partree_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/packing.cpp" "src/core/CMakeFiles/partree_core.dir/packing.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/packing.cpp.o.d"
+  "/root/repo/src/core/rand_realloc.cpp" "src/core/CMakeFiles/partree_core.dir/rand_realloc.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/rand_realloc.cpp.o.d"
+  "/root/repo/src/core/randomized.cpp" "src/core/CMakeFiles/partree_core.dir/randomized.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/randomized.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/partree_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/partree_core.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

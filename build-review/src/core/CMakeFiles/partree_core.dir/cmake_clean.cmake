@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_core.dir/baselines.cpp.o"
+  "CMakeFiles/partree_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/partree_core.dir/basic.cpp.o"
+  "CMakeFiles/partree_core.dir/basic.cpp.o.d"
+  "CMakeFiles/partree_core.dir/drealloc.cpp.o"
+  "CMakeFiles/partree_core.dir/drealloc.cpp.o.d"
+  "CMakeFiles/partree_core.dir/factory.cpp.o"
+  "CMakeFiles/partree_core.dir/factory.cpp.o.d"
+  "CMakeFiles/partree_core.dir/greedy.cpp.o"
+  "CMakeFiles/partree_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/partree_core.dir/machine_state.cpp.o"
+  "CMakeFiles/partree_core.dir/machine_state.cpp.o.d"
+  "CMakeFiles/partree_core.dir/optimal.cpp.o"
+  "CMakeFiles/partree_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/partree_core.dir/packing.cpp.o"
+  "CMakeFiles/partree_core.dir/packing.cpp.o.d"
+  "CMakeFiles/partree_core.dir/rand_realloc.cpp.o"
+  "CMakeFiles/partree_core.dir/rand_realloc.cpp.o.d"
+  "CMakeFiles/partree_core.dir/randomized.cpp.o"
+  "CMakeFiles/partree_core.dir/randomized.cpp.o.d"
+  "CMakeFiles/partree_core.dir/sequence.cpp.o"
+  "CMakeFiles/partree_core.dir/sequence.cpp.o.d"
+  "libpartree_core.a"
+  "libpartree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

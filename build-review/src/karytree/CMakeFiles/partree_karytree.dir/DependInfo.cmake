@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/karytree/k_allocators.cpp" "src/karytree/CMakeFiles/partree_karytree.dir/k_allocators.cpp.o" "gcc" "src/karytree/CMakeFiles/partree_karytree.dir/k_allocators.cpp.o.d"
+  "/root/repo/src/karytree/k_load_tree.cpp" "src/karytree/CMakeFiles/partree_karytree.dir/k_load_tree.cpp.o" "gcc" "src/karytree/CMakeFiles/partree_karytree.dir/k_load_tree.cpp.o.d"
+  "/root/repo/src/karytree/k_topology.cpp" "src/karytree/CMakeFiles/partree_karytree.dir/k_topology.cpp.o" "gcc" "src/karytree/CMakeFiles/partree_karytree.dir/k_topology.cpp.o.d"
+  "/root/repo/src/karytree/k_vacancy.cpp" "src/karytree/CMakeFiles/partree_karytree.dir/k_vacancy.cpp.o" "gcc" "src/karytree/CMakeFiles/partree_karytree.dir/k_vacancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_karytree.dir/k_allocators.cpp.o"
+  "CMakeFiles/partree_karytree.dir/k_allocators.cpp.o.d"
+  "CMakeFiles/partree_karytree.dir/k_load_tree.cpp.o"
+  "CMakeFiles/partree_karytree.dir/k_load_tree.cpp.o.d"
+  "CMakeFiles/partree_karytree.dir/k_topology.cpp.o"
+  "CMakeFiles/partree_karytree.dir/k_topology.cpp.o.d"
+  "CMakeFiles/partree_karytree.dir/k_vacancy.cpp.o"
+  "CMakeFiles/partree_karytree.dir/k_vacancy.cpp.o.d"
+  "libpartree_karytree.a"
+  "libpartree_karytree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_karytree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/fat_tree.cpp" "src/machines/CMakeFiles/partree_machines.dir/fat_tree.cpp.o" "gcc" "src/machines/CMakeFiles/partree_machines.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/machines/hypercube.cpp" "src/machines/CMakeFiles/partree_machines.dir/hypercube.cpp.o" "gcc" "src/machines/CMakeFiles/partree_machines.dir/hypercube.cpp.o.d"
+  "/root/repo/src/machines/mesh.cpp" "src/machines/CMakeFiles/partree_machines.dir/mesh.cpp.o" "gcc" "src/machines/CMakeFiles/partree_machines.dir/mesh.cpp.o.d"
+  "/root/repo/src/machines/migration_cost.cpp" "src/machines/CMakeFiles/partree_machines.dir/migration_cost.cpp.o" "gcc" "src/machines/CMakeFiles/partree_machines.dir/migration_cost.cpp.o.d"
+  "/root/repo/src/machines/subcube_alloc.cpp" "src/machines/CMakeFiles/partree_machines.dir/subcube_alloc.cpp.o" "gcc" "src/machines/CMakeFiles/partree_machines.dir/subcube_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/partree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

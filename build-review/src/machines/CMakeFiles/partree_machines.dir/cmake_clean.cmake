@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_machines.dir/fat_tree.cpp.o"
+  "CMakeFiles/partree_machines.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/partree_machines.dir/hypercube.cpp.o"
+  "CMakeFiles/partree_machines.dir/hypercube.cpp.o.d"
+  "CMakeFiles/partree_machines.dir/mesh.cpp.o"
+  "CMakeFiles/partree_machines.dir/mesh.cpp.o.d"
+  "CMakeFiles/partree_machines.dir/migration_cost.cpp.o"
+  "CMakeFiles/partree_machines.dir/migration_cost.cpp.o.d"
+  "CMakeFiles/partree_machines.dir/subcube_alloc.cpp.o"
+  "CMakeFiles/partree_machines.dir/subcube_alloc.cpp.o.d"
+  "libpartree_machines.a"
+  "libpartree_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpartree_machines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_obs.dir/bench_schema.cpp.o"
+  "CMakeFiles/partree_obs.dir/bench_schema.cpp.o.d"
+  "CMakeFiles/partree_obs.dir/chrome_trace.cpp.o"
+  "CMakeFiles/partree_obs.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/partree_obs.dir/counters.cpp.o"
+  "CMakeFiles/partree_obs.dir/counters.cpp.o.d"
+  "CMakeFiles/partree_obs.dir/timing.cpp.o"
+  "CMakeFiles/partree_obs.dir/timing.cpp.o.d"
+  "CMakeFiles/partree_obs.dir/trace.cpp.o"
+  "CMakeFiles/partree_obs.dir/trace.cpp.o.d"
+  "libpartree_obs.a"
+  "libpartree_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/partree_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/parallel.cpp" "src/sim/CMakeFiles/partree_sim.dir/parallel.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/parallel.cpp.o.d"
+  "/root/repo/src/sim/pool.cpp" "src/sim/CMakeFiles/partree_sim.dir/pool.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/pool.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/partree_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/result.cpp" "src/sim/CMakeFiles/partree_sim.dir/result.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/result.cpp.o.d"
+  "/root/repo/src/sim/slowdown.cpp" "src/sim/CMakeFiles/partree_sim.dir/slowdown.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/slowdown.cpp.o.d"
+  "/root/repo/src/sim/trials.cpp" "src/sim/CMakeFiles/partree_sim.dir/trials.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/trials.cpp.o.d"
+  "/root/repo/src/sim/viz.cpp" "src/sim/CMakeFiles/partree_sim.dir/viz.cpp.o" "gcc" "src/sim/CMakeFiles/partree_sim.dir/viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/partree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

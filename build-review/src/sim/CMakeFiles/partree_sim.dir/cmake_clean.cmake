@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_sim.dir/engine.cpp.o"
+  "CMakeFiles/partree_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/parallel.cpp.o"
+  "CMakeFiles/partree_sim.dir/parallel.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/pool.cpp.o"
+  "CMakeFiles/partree_sim.dir/pool.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/report.cpp.o"
+  "CMakeFiles/partree_sim.dir/report.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/result.cpp.o"
+  "CMakeFiles/partree_sim.dir/result.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/slowdown.cpp.o"
+  "CMakeFiles/partree_sim.dir/slowdown.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/trials.cpp.o"
+  "CMakeFiles/partree_sim.dir/trials.cpp.o.d"
+  "CMakeFiles/partree_sim.dir/viz.cpp.o"
+  "CMakeFiles/partree_sim.dir/viz.cpp.o.d"
+  "libpartree_sim.a"
+  "libpartree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/copy_set.cpp" "src/tree/CMakeFiles/partree_tree.dir/copy_set.cpp.o" "gcc" "src/tree/CMakeFiles/partree_tree.dir/copy_set.cpp.o.d"
+  "/root/repo/src/tree/level_forest.cpp" "src/tree/CMakeFiles/partree_tree.dir/level_forest.cpp.o" "gcc" "src/tree/CMakeFiles/partree_tree.dir/level_forest.cpp.o.d"
+  "/root/repo/src/tree/load_tree.cpp" "src/tree/CMakeFiles/partree_tree.dir/load_tree.cpp.o" "gcc" "src/tree/CMakeFiles/partree_tree.dir/load_tree.cpp.o.d"
+  "/root/repo/src/tree/topology.cpp" "src/tree/CMakeFiles/partree_tree.dir/topology.cpp.o" "gcc" "src/tree/CMakeFiles/partree_tree.dir/topology.cpp.o.d"
+  "/root/repo/src/tree/vacancy_tree.cpp" "src/tree/CMakeFiles/partree_tree.dir/vacancy_tree.cpp.o" "gcc" "src/tree/CMakeFiles/partree_tree.dir/vacancy_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

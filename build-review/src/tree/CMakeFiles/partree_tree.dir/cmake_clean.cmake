@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_tree.dir/copy_set.cpp.o"
+  "CMakeFiles/partree_tree.dir/copy_set.cpp.o.d"
+  "CMakeFiles/partree_tree.dir/level_forest.cpp.o"
+  "CMakeFiles/partree_tree.dir/level_forest.cpp.o.d"
+  "CMakeFiles/partree_tree.dir/load_tree.cpp.o"
+  "CMakeFiles/partree_tree.dir/load_tree.cpp.o.d"
+  "CMakeFiles/partree_tree.dir/topology.cpp.o"
+  "CMakeFiles/partree_tree.dir/topology.cpp.o.d"
+  "CMakeFiles/partree_tree.dir/vacancy_tree.cpp.o"
+  "CMakeFiles/partree_tree.dir/vacancy_tree.cpp.o.d"
+  "libpartree_tree.a"
+  "libpartree_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/partree_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/partree_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/partree_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/partree_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/util/CMakeFiles/partree_util.dir/math.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/math.cpp.o.d"
+  "/root/repo/src/util/plot.cpp" "src/util/CMakeFiles/partree_util.dir/plot.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/plot.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/partree_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/partree_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/str.cpp" "src/util/CMakeFiles/partree_util.dir/str.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/str.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/partree_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/partree_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

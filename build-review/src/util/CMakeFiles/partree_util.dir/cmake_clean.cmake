@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_util.dir/cli.cpp.o"
+  "CMakeFiles/partree_util.dir/cli.cpp.o.d"
+  "CMakeFiles/partree_util.dir/csv.cpp.o"
+  "CMakeFiles/partree_util.dir/csv.cpp.o.d"
+  "CMakeFiles/partree_util.dir/histogram.cpp.o"
+  "CMakeFiles/partree_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/partree_util.dir/json.cpp.o"
+  "CMakeFiles/partree_util.dir/json.cpp.o.d"
+  "CMakeFiles/partree_util.dir/math.cpp.o"
+  "CMakeFiles/partree_util.dir/math.cpp.o.d"
+  "CMakeFiles/partree_util.dir/plot.cpp.o"
+  "CMakeFiles/partree_util.dir/plot.cpp.o.d"
+  "CMakeFiles/partree_util.dir/rng.cpp.o"
+  "CMakeFiles/partree_util.dir/rng.cpp.o.d"
+  "CMakeFiles/partree_util.dir/stats.cpp.o"
+  "CMakeFiles/partree_util.dir/stats.cpp.o.d"
+  "CMakeFiles/partree_util.dir/str.cpp.o"
+  "CMakeFiles/partree_util.dir/str.cpp.o.d"
+  "CMakeFiles/partree_util.dir/table.cpp.o"
+  "CMakeFiles/partree_util.dir/table.cpp.o.d"
+  "libpartree_util.a"
+  "libpartree_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campaign.cpp" "src/workload/CMakeFiles/partree_workload.dir/campaign.cpp.o" "gcc" "src/workload/CMakeFiles/partree_workload.dir/campaign.cpp.o.d"
+  "/root/repo/src/workload/sizes.cpp" "src/workload/CMakeFiles/partree_workload.dir/sizes.cpp.o" "gcc" "src/workload/CMakeFiles/partree_workload.dir/sizes.cpp.o.d"
+  "/root/repo/src/workload/stressors.cpp" "src/workload/CMakeFiles/partree_workload.dir/stressors.cpp.o" "gcc" "src/workload/CMakeFiles/partree_workload.dir/stressors.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/partree_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/partree_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/partree_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/partree_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/partree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tree/CMakeFiles/partree_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/partree_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/partree_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_workload.dir/campaign.cpp.o"
+  "CMakeFiles/partree_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/partree_workload.dir/sizes.cpp.o"
+  "CMakeFiles/partree_workload.dir/sizes.cpp.o.d"
+  "CMakeFiles/partree_workload.dir/stressors.cpp.o"
+  "CMakeFiles/partree_workload.dir/stressors.cpp.o.d"
+  "CMakeFiles/partree_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/partree_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/partree_workload.dir/trace.cpp.o"
+  "CMakeFiles/partree_workload.dir/trace.cpp.o.d"
+  "libpartree_workload.a"
+  "libpartree_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partree_tests_tier2.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/partree_tests_tier2.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/partree_tests_tier2.dir/testmain.cpp.o"
+  "CMakeFiles/partree_tests_tier2.dir/testmain.cpp.o.d"
+  "partree_tests_tier2"
+  "partree_tests_tier2.pdb"
+  "partree_tests_tier2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partree_tests_tier2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
