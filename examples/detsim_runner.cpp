@@ -1,0 +1,370 @@
+// detsim_runner: seed sweeps, repro shrinking, and differential replay for
+// the deterministic fault-injection harness (sim/detsim.hpp).
+//
+// Modes:
+//   --seed-sweep K   Replay K seeded runs, each with a seed-derived random
+//                    fault plan, and verify every one recovers (digest
+//                    oracle) or crashes with a dump naming the fault.
+//                    Corruption faults re-exec this binary (--one) in a
+//                    subprocess, since their only correct outcome is an
+//                    abort. Also runs the serial-vs-pool differential
+//                    digest sweep. Failures are shrunk (with --shrink) and
+//                    written as partree-detsim-repro-v1 files.
+//   --replay FILE    Re-run one repro file and report whether the recorded
+//                    outcome reproduces (exit 0 iff it does).
+//   --one            Single faulted run, exactly as specified (the
+//                    subprocess side of corruption sweeps).
+//
+// Examples:
+//   detsim_runner --seed-sweep 500 --shrink
+//   detsim_runner --seed-sweep 200 --budget-seconds 60 --repro-dir out
+//   detsim_runner --replay out/repro_seed42.json
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "obs/trace.hpp"
+#include "sim/detsim.hpp"
+#include "util/cli.hpp"
+#include "util/digest.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using partree::sim::DetSimOptions;
+using partree::sim::DetSimOutcome;
+using partree::sim::DetSimReport;
+using partree::sim::FaultPlan;
+
+/// Allocators a sweep rotates through: the paper's main algorithms plus a
+/// randomized one, covering both CopySet-backed and stateless placement.
+const char* const kSweepAllocators[] = {"greedy", "basic", "dmix:d=1",
+                                        "random", "randmix:d=2"};
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "detsim_runner: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "detsim_runner: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+[[nodiscard]] std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  return out + "'";
+}
+
+void print_report(const DetSimOptions& options, const DetSimReport& report) {
+  std::printf(
+      "seed=%llu alloc=%s faults=[%s] outcome=%s applied=%llu "
+      "baseline=%s run=%s\n",
+      static_cast<unsigned long long>(options.seed),
+      options.allocator.c_str(), options.faults.to_string().c_str(),
+      std::string(partree::sim::outcome_name(report.outcome)).c_str(),
+      static_cast<unsigned long long>(report.faults_applied),
+      partree::util::digest_hex(report.baseline_digest).c_str(),
+      partree::util::digest_hex(report.run_digest).c_str());
+  if (!report.detail.empty()) {
+    std::printf("  detail: %s\n", report.detail.c_str());
+  }
+}
+
+/// --one: run exactly the specified faulted replay in this process. For an
+/// applying corruption fault this aborts with a crash dump (by design);
+/// otherwise prints the report. Exit 0 on recovery/skip, 1 on divergence.
+[[nodiscard]] int run_one(const DetSimOptions& options) {
+  const DetSimReport report = partree::sim::run_detsim(options);
+  print_report(options, report);
+  return report.outcome == DetSimOutcome::kDivergence ? 1 : 0;
+}
+
+/// Outcome of verifying one corruption plan in a subprocess.
+struct CrashProbe {
+  bool crashed = false;       ///< child died (nonzero exit)
+  bool dump_found = false;    ///< stderr carried a partree-crash-v1 dump
+  bool fault_named = false;   ///< ... whose reason names the exact fault
+  bool skipped = false;       ///< child exited 0 (fault inapplicable)
+};
+
+/// Re-execs this binary with --one for a corruption plan; the contract is
+/// "abort with a dump naming the injected component and step", which can
+/// only be observed from outside the dying process.
+[[nodiscard]] CrashProbe probe_crash(const std::string& argv0,
+                                     const DetSimOptions& options,
+                                     const std::string& scratch_dir) {
+  const std::string err_path = scratch_dir + "/one_stderr.txt";
+  const std::string dump_path = scratch_dir + "/one_crash.json";
+  std::string cmd = shell_quote(argv0) + " --one";
+  cmd += " --n-pes " + std::to_string(options.n_pes);
+  cmd += " --alloc " + shell_quote(options.allocator);
+  cmd += " --seed " + std::to_string(options.seed);
+  cmd += " --events " + std::to_string(options.n_events);
+  cmd += " --faults " + shell_quote(options.faults.to_string());
+  cmd += " --crash-dump " + shell_quote(dump_path);
+  cmd += " >/dev/null 2>" + shell_quote(err_path);
+
+  CrashProbe probe;
+  const int rc = std::system(cmd.c_str());
+  probe.crashed = rc != 0;
+  probe.skipped = rc == 0;
+  std::error_code ec;
+  if (std::filesystem::exists(err_path, ec)) {
+    const std::string err = read_file(err_path);
+    probe.dump_found = err.find("partree-crash-v1") != std::string::npos;
+    std::string named;
+    for (const partree::sim::Fault& fault : options.faults.faults()) {
+      if (err.find(fault.to_string()) != std::string::npos) {
+        probe.fault_named = true;
+      }
+    }
+    std::filesystem::remove(err_path, ec);
+  }
+  std::filesystem::remove(dump_path, ec);
+  return probe;
+}
+
+struct SweepStats {
+  std::uint64_t runs = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t crashes_verified = 0;
+  std::uint64_t failures = 0;
+};
+
+[[nodiscard]] int run_seed_sweep(const std::string& argv0,
+                                 const partree::util::Cli& cli) {
+  const std::uint64_t n_seeds = cli.get_u64("seed-sweep");
+  const std::uint64_t base_seed = cli.get_u64("seed");
+  const double budget = cli.get_double("budget-seconds");
+  const bool shrink = cli.get_flag("shrink");
+  const bool no_corruption = cli.get_flag("no-corruption");
+  const std::string repro_dir = cli.get("repro-dir");
+  std::filesystem::create_directories(repro_dir);
+
+  partree::util::Timer timer;
+  partree::util::Rng plan_rng(base_seed ^ 0x9e3779b97f4a7c15ULL);
+  SweepStats stats;
+
+  // Phase 1: serial-vs-pool differential digests (the "zero fault-free
+  // divergences" acceptance gate), in chunks so the budget check bites.
+  const std::size_t chunk_overrides[] = {0, 1, 2, 5};
+  std::uint64_t diff_done = 0;
+  while (diff_done < n_seeds &&
+         (budget <= 0.0 || timer.seconds() < budget * 0.4)) {
+    const std::uint64_t batch = std::min<std::uint64_t>(32, n_seeds - diff_done);
+    DetSimOptions base;
+    base.allocator = cli.get("alloc").empty() ? "basic" : cli.get("alloc");
+    base.seed = base_seed + diff_done;
+    const std::vector<std::uint64_t> diverged =
+        partree::sim::digest_divergences(base, batch, chunk_overrides);
+    for (const std::uint64_t seed : diverged) {
+      std::printf("FAIL differential: seed=%llu serial vs pool digest\n",
+                  static_cast<unsigned long long>(seed));
+      ++stats.failures;
+    }
+    diff_done += batch;
+  }
+  std::printf("differential sweep: %llu/%llu seeds, %llu divergences\n",
+              static_cast<unsigned long long>(diff_done),
+              static_cast<unsigned long long>(n_seeds),
+              static_cast<unsigned long long>(stats.failures));
+
+  // Phase 2: per-seed fault injection.
+  for (std::uint64_t i = 0; i < n_seeds; ++i) {
+    if (budget > 0.0 && timer.seconds() >= budget) {
+      std::printf("budget reached after %llu/%llu fault runs\n",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(n_seeds));
+      break;
+    }
+    DetSimOptions options;
+    options.seed = base_seed + i;
+    options.allocator = cli.has("alloc") && !cli.get("alloc").empty()
+                            ? cli.get("alloc")
+                            : kSweepAllocators[i % std::size(kSweepAllocators)];
+    const std::uint64_t n_events = partree::sim::detsim_event_count(options);
+    options.faults = partree::sim::random_fault_plan(plan_rng, n_events,
+                                                     !no_corruption);
+    ++stats.runs;
+
+    if (options.faults.has_corruption()) {
+      const CrashProbe probe = probe_crash(argv0, options, repro_dir);
+      if (probe.skipped) {
+        ++stats.skipped;
+        continue;
+      }
+      if (probe.crashed && probe.dump_found && probe.fault_named) {
+        ++stats.crashes_verified;
+        continue;
+      }
+      ++stats.failures;
+      std::printf(
+          "FAIL crash contract: seed=%llu alloc=%s faults=[%s] "
+          "crashed=%d dump=%d named=%d\n",
+          static_cast<unsigned long long>(options.seed),
+          options.allocator.c_str(), options.faults.to_string().c_str(),
+          probe.crashed ? 1 : 0, probe.dump_found ? 1 : 0,
+          probe.fault_named ? 1 : 0);
+      const DetSimReport baseline_only =
+          partree::sim::run_detsim({.n_pes = options.n_pes,
+                                    .allocator = options.allocator,
+                                    .seed = options.seed,
+                                    .n_events = options.n_events});
+      partree::sim::ReproSpec spec =
+          partree::sim::to_repro(options, baseline_only);
+      spec.expect = "crash";
+      write_file(repro_dir + "/repro_seed" + std::to_string(options.seed) +
+                     ".json",
+                 partree::sim::write_repro(spec));
+      continue;
+    }
+
+    DetSimReport report = partree::sim::run_detsim(options);
+    switch (report.outcome) {
+      case DetSimOutcome::kFaultFree:
+      case DetSimOutcome::kRecovered: ++stats.recovered; break;
+      case DetSimOutcome::kCancelled: ++stats.cancelled; break;
+      case DetSimOutcome::kSkipped: ++stats.skipped; break;
+      case DetSimOutcome::kDivergence: {
+        ++stats.failures;
+        std::printf("FAIL divergence:\n");
+        print_report(options, report);
+        if (shrink) {
+          options = partree::sim::shrink_failing(
+              options, [](const DetSimOptions& candidate) {
+                return partree::sim::run_detsim(candidate).outcome ==
+                       DetSimOutcome::kDivergence;
+              });
+          report = partree::sim::run_detsim(options);
+          std::printf("  shrunk to:\n");
+          print_report(options, report);
+        }
+        write_file(repro_dir + "/repro_seed" + std::to_string(options.seed) +
+                       ".json",
+                   partree::sim::write_repro(
+                       partree::sim::to_repro(options, report)));
+        break;
+      }
+    }
+  }
+
+  std::printf(
+      "sweep done in %.1fs: runs=%llu recovered=%llu cancelled=%llu "
+      "skipped=%llu crashes_verified=%llu failures=%llu\n",
+      timer.seconds(), static_cast<unsigned long long>(stats.runs),
+      static_cast<unsigned long long>(stats.recovered),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.skipped),
+      static_cast<unsigned long long>(stats.crashes_verified),
+      static_cast<unsigned long long>(stats.failures));
+  return stats.failures == 0 ? 0 : 1;
+}
+
+[[nodiscard]] int run_replay(const std::string& argv0,
+                             const partree::util::Cli& cli) {
+  const partree::sim::ReproSpec spec =
+      partree::sim::read_repro(read_file(cli.get("replay")));
+  DetSimOptions options;
+  options.n_pes = spec.n_pes;
+  options.allocator = spec.allocator;
+  options.seed = spec.seed;
+  options.n_events = cli.get_u64("events");
+  options.faults = spec.faults;
+
+  if (spec.expect == "crash") {
+    const CrashProbe probe = probe_crash(argv0, options, ".");
+    const bool reproduced =
+        probe.crashed && probe.dump_found && probe.fault_named;
+    std::printf("replay crash: crashed=%d dump=%d named=%d -> %s\n",
+                probe.crashed ? 1 : 0, probe.dump_found ? 1 : 0,
+                probe.fault_named ? 1 : 0,
+                reproduced ? "reproduced" : "NOT reproduced");
+    return reproduced ? 0 : 1;
+  }
+
+  const DetSimReport report = partree::sim::run_detsim(options);
+  print_report(options, report);
+  if (spec.baseline_digest != 0 &&
+      report.baseline_digest != spec.baseline_digest) {
+    std::printf("  note: baseline digest changed since the repro (%s vs %s)\n",
+                partree::util::digest_hex(report.baseline_digest).c_str(),
+                partree::util::digest_hex(spec.baseline_digest).c_str());
+  }
+  const bool reproduced =
+      spec.expect == "divergence"
+          ? report.outcome == DetSimOutcome::kDivergence
+          : report.outcome != DetSimOutcome::kDivergence;
+  std::printf("replay: expected %s -> %s\n", spec.expect.c_str(),
+              reproduced ? "reproduced" : "NOT reproduced");
+  return reproduced ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  partree::util::Cli cli;
+  cli.option("seed-sweep", "seeds to sweep with random fault plans", "0")
+      .option("seed", "base seed", "1")
+      .option("alloc", "allocator spec (sweep default: rotate)", "")
+      .option("n-pes", "machine size (power of two)", "64")
+      .option("events", "workload length; 0 = seed-derived", "0")
+      .option("faults", "explicit fault plan for --one", "")
+      .option("replay", "repro file to re-run", "")
+      .option("repro-dir", "where repro files / scratch land",
+              "detsim_repros")
+      .option("budget-seconds", "stop the sweep after this long; 0 = off",
+              "0")
+      .option("crash-dump", "crash-dump path override (used by --one)", "")
+      .flag("one", "run a single faulted replay exactly as specified")
+      .flag("shrink", "minimise failing configurations before writing repros")
+      .flag("no-corruption", "exclude corrupt:* kinds from random plans");
+  if (!cli.parse(argc, argv)) return 2;
+
+  if (!cli.get("crash-dump").empty()) {
+    partree::obs::set_crash_dump_path(cli.get("crash-dump"));
+  }
+
+  if (cli.get_flag("one")) {
+    DetSimOptions options;
+    options.n_pes = cli.get_u64("n-pes");
+    options.allocator =
+        cli.get("alloc").empty() ? "basic" : cli.get("alloc");
+    options.seed = cli.get_u64("seed");
+    options.n_events = cli.get_u64("events");
+    options.faults = FaultPlan::parse(cli.get("faults"));
+    return run_one(options);
+  }
+  if (!cli.get("replay").empty()) return run_replay(argv[0], cli);
+  if (cli.get_u64("seed-sweep") > 0) return run_seed_sweep(argv[0], cli);
+
+  std::fputs(cli.usage(argv[0]).c_str(), stderr);
+  std::fputs("\none of --seed-sweep, --replay, or --one is required\n",
+             stderr);
+  return 2;
+}

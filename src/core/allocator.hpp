@@ -57,6 +57,21 @@ class Allocator {
 
   /// Restores the allocator to its initial (empty-machine) state.
   virtual void reset() = 0;
+
+  /// TEST-ONLY fault injection seam: corrupts the allocator's internal
+  /// bookkeeping (e.g. a CopySet aggregate) so the self-check below trips.
+  /// Returns true iff a corruption was actually applied; the default has
+  /// no corruptible state and returns false. Never call outside
+  /// tests/fault injection.
+  virtual bool debug_corrupt_state() { return false; }
+
+  /// Self-check of the allocator's internal bookkeeping against its own
+  /// ground truth. Returns "" when consistent (the default: nothing to
+  /// check), else a description of the first inconsistency. The engine's
+  /// debug_checks net calls this after every event, so a corrupted
+  /// allocator dies with a flight-recorder dump instead of silently
+  /// producing plausible-looking placements.
+  [[nodiscard]] virtual std::string debug_check_state() const { return {}; }
 };
 
 using AllocatorPtr = std::unique_ptr<Allocator>;

@@ -29,6 +29,17 @@ void BasicAllocator::on_departure(TaskId id, const MachineState& state) {
   placements_.erase(it);
 }
 
+bool BasicAllocator::debug_corrupt_state() {
+  if (copies_.copy_count() == 0) return false;
+  copies_.debug_corrupt_used(copies_.used() + 1000);
+  return true;
+}
+
+std::string BasicAllocator::debug_check_state() const {
+  const std::string err = copies_.check();
+  return err.empty() ? err : "copy_set: " + err;
+}
+
 void BasicAllocator::reset() {
   copies_.clear();
   placements_.clear();

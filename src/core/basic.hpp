@@ -30,6 +30,12 @@ class BasicAllocator : public Allocator {
     return copies_.copy_count();
   }
 
+  /// Fault-injection seam: corrupts the CopySet's used-PE aggregate so
+  /// debug_check_state (CopySet::check) trips on the next debug_checks
+  /// pass. Applies only once at least one task has been placed.
+  bool debug_corrupt_state() override;
+  [[nodiscard]] std::string debug_check_state() const override;
+
  private:
   tree::CopyFit fit_;
   tree::CopySet copies_;

@@ -46,6 +46,18 @@ void DReallocAllocator::on_departure(TaskId id, const MachineState& state) {
   placements_.erase(it);
 }
 
+bool DReallocAllocator::debug_corrupt_state() {
+  if (greedy_ || copies_.copy_count() == 0) return false;
+  copies_.debug_corrupt_used(copies_.used() + 1000);
+  return true;
+}
+
+std::string DReallocAllocator::debug_check_state() const {
+  if (greedy_) return {};
+  const std::string err = copies_.check();
+  return err.empty() ? err : "copy_set: " + err;
+}
+
 std::optional<std::vector<Migration>> DReallocAllocator::maybe_reallocate(
     const MachineState& state) {
   if (greedy_) return std::nullopt;

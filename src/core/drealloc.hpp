@@ -48,6 +48,11 @@ class DReallocAllocator : public Allocator {
     return reallocations_;
   }
 
+  /// Fault-injection seam: corrupts the CopySet's used-PE aggregate (no-op
+  /// in the greedy regime, which owns no copies).
+  bool debug_corrupt_state() override;
+  [[nodiscard]] std::string debug_check_state() const override;
+
  private:
   tree::Topology topo_;
   ReallocParam d_;

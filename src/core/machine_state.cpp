@@ -5,6 +5,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/digest.hpp"
 #include "util/math.hpp"
 
 namespace partree::core {
@@ -73,6 +74,28 @@ std::uint64_t MachineState::optimal_load() const noexcept {
   return peak_active_size_ == 0
              ? 0
              : util::ceil_div(peak_active_size_, topo_.n_leaves());
+}
+
+std::uint64_t MachineState::digest() const {
+  std::uint64_t task_set = 0;
+  for (const auto& [id, at] : active_) {
+    task_set = util::commutative_add(
+        task_set, util::element_digest(id, at.task.size, at.node));
+  }
+  util::Fnv fnv;
+  fnv.mix(topo_.n_leaves());
+  fnv.mix(active_.size());
+  fnv.mix(task_set);
+  fnv.mix(loads_.max_load());
+  fnv.mix(loads_.total_active_size());
+  fnv.mix(peak_active_size_);
+  return fnv.value();
+}
+
+bool MachineState::debug_corrupt_drop_active() {
+  if (active_.empty()) return false;
+  active_.erase(active_.begin());  // load deliberately left assigned
+  return true;
 }
 
 void MachineState::clear() {

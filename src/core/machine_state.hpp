@@ -91,7 +91,28 @@ class MachineState {
     return loads_.pe_loads();
   }
 
+  /// Canonical 64-bit state digest: the active-task set (id, size, node)
+  /// folded commutatively -- the map's iteration order is unspecified, so
+  /// the digest must not depend on it -- mixed with the machine geometry
+  /// and the maintained load aggregates. Two states digest equal iff they
+  /// hold the same tasks at the same nodes with consistent accounting;
+  /// detsim uses this as its per-epoch equivalence oracle. O(active).
+  [[nodiscard]] std::uint64_t digest() const;
+
   void clear();
+
+  /// TEST-ONLY fault injection: forwards to LoadTree::debug_corrupt_add on
+  /// the owned load structure, leaving aggregates stale on purpose so the
+  /// engine's debug_checks net (and its crash dump) can be exercised
+  /// end to end. Never call outside tests/fault injection.
+  void debug_corrupt_loads(tree::NodeId v, std::uint64_t count) {
+    loads_.debug_corrupt_add(v, count);
+  }
+
+  /// TEST-ONLY fault injection: erases one entry from the active-task map
+  /// WITHOUT releasing its load, so the task-count/size invariants break.
+  /// Returns false (and does nothing) when no task is active.
+  bool debug_corrupt_drop_active();
 
  private:
   tree::Topology topo_;

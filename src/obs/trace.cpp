@@ -160,6 +160,8 @@ std::string_view instant_name(Instant i) noexcept {
     case Instant::kDeparture: return "departure";
     case Instant::kReallocRound: return "realloc_round";
     case Instant::kMigrationBatch: return "migration_batch";
+    case Instant::kFaultInjected: return "fault_injected";
+    case Instant::kStateDigest: return "state_digest";
     case Instant::kCount: break;
   }
   return "unknown";

@@ -45,6 +45,11 @@ enum class Instant : std::uint8_t {
   kReallocRound,
   /// One MachineState::migrate call; payload = physical moves applied.
   kMigrationBatch,
+  /// One injected fault applied by the detsim harness (sim/faults.hpp);
+  /// payload = the step (event index) the fault fired at.
+  kFaultInjected,
+  /// One per-reallocation-epoch MachineState digest; payload = the digest.
+  kStateDigest,
   kCount,
 };
 

@@ -1,0 +1,375 @@
+#include "sim/detsim.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "sim/pool.hpp"
+#include "util/assert.hpp"
+#include "util/digest.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace partree::sim {
+namespace {
+
+/// Replicas per pool region: enough that cancellation leaves in-flight
+/// survivors to check, small enough that a 200-seed property sweep stays
+/// cheap.
+constexpr std::size_t kReplicas = 4;
+
+/// Restores the pool's chunk heuristic on scope exit.
+class ScopedChunkOverride {
+ public:
+  explicit ScopedChunkOverride(std::size_t chunk)
+      : prev_(WorkerPool::instance().chunk_override()) {
+    WorkerPool::instance().set_chunk_override(chunk);
+  }
+  ~ScopedChunkOverride() { WorkerPool::instance().set_chunk_override(prev_); }
+  ScopedChunkOverride(const ScopedChunkOverride&) = delete;
+  ScopedChunkOverride& operator=(const ScopedChunkOverride&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+/// One replay: fresh allocator from (spec, seed) so fault-free and faulted
+/// runs make identical decisions, digests always on.
+[[nodiscard]] SimResult replay_once(const tree::Topology& topo,
+                                    const core::TaskSequence& seq,
+                                    const DetSimOptions& options,
+                                    FaultInjector* injector) {
+  EngineOptions eopts;
+  eopts.debug_checks = options.debug_checks;
+  eopts.record_digests = true;
+  eopts.faults = injector;
+  Engine engine(topo, eopts);
+  const core::AllocatorPtr alloc =
+      core::make_allocator(options.allocator, topo, options.seed);
+  return engine.run(seq, *alloc);
+}
+
+[[nodiscard]] bool plan_has_kind(const FaultPlan& plan, FaultKind kind) {
+  return std::any_of(
+      plan.faults().begin(), plan.faults().end(),
+      [kind](const Fault& f) { return f.kind == kind; });
+}
+
+/// First epoch where the two digest streams disagree, as a detail string;
+/// "" when they agree.
+[[nodiscard]] std::string first_epoch_mismatch(
+    const std::vector<EpochDigest>& baseline,
+    const std::vector<EpochDigest>& run) {
+  const std::size_t n = std::min(baseline.size(), run.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (baseline[i] != run[i]) {
+      return "epoch digest mismatch at event " +
+             std::to_string(run[i].event) + ": baseline " +
+             util::digest_hex(baseline[i].digest) + " vs " +
+             util::digest_hex(run[i].digest);
+    }
+  }
+  if (baseline.size() != run.size()) {
+    return "epoch count mismatch: baseline " +
+           std::to_string(baseline.size()) + " vs " +
+           std::to_string(run.size());
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view outcome_name(DetSimOutcome outcome) noexcept {
+  switch (outcome) {
+    case DetSimOutcome::kFaultFree: return "fault_free";
+    case DetSimOutcome::kRecovered: return "recovered";
+    case DetSimOutcome::kCancelled: return "cancelled";
+    case DetSimOutcome::kSkipped: return "skipped";
+    case DetSimOutcome::kDivergence: return "divergence";
+  }
+  return "unknown";
+}
+
+core::TaskSequence detsim_sequence(const tree::Topology& topo,
+                                   std::uint64_t seed,
+                                   std::uint64_t n_events) {
+  util::Rng rng(seed);
+  workload::ClosedLoopParams params;
+  // Draws happen in a fixed order regardless of n_events so explicit
+  // lengths replay the same utilization/size shape as the 0 default.
+  const std::uint64_t drawn = 200 + rng.below(800);
+  params.n_events = n_events != 0 ? n_events : drawn;
+  params.utilization = 0.3 + 0.65 * rng.uniform01();
+  switch (rng.below(3)) {
+    case 0:
+      params.size = workload::SizeSpec::uniform_log(0, topo.height());
+      break;
+    case 1:
+      params.size = workload::SizeSpec::geometric(0.5, topo.height());
+      break;
+    default:
+      params.size = workload::SizeSpec::zipf_log(1.1, topo.height());
+      break;
+  }
+  return workload::closed_loop(topo, params, rng);
+}
+
+std::uint64_t detsim_event_count(const DetSimOptions& options) {
+  const tree::Topology topo(options.n_pes);
+  return detsim_sequence(topo, options.seed, options.n_events).size();
+}
+
+SimResult run_baseline(const DetSimOptions& options) {
+  const tree::Topology topo(options.n_pes);
+  const core::TaskSequence seq =
+      detsim_sequence(topo, options.seed, options.n_events);
+  return replay_once(topo, seq, options, nullptr);
+}
+
+DetSimReport run_detsim(const DetSimOptions& options) {
+  PARTREE_ASSERT(options.debug_checks || !options.faults.has_corruption(),
+                 "corruption plans require DetSimOptions::debug_checks");
+  const tree::Topology topo(options.n_pes);
+  const core::TaskSequence seq =
+      detsim_sequence(topo, options.seed, options.n_events);
+
+  DetSimReport report;
+  report.events = seq.size();
+
+  const SimResult baseline = replay_once(topo, seq, options, nullptr);
+  report.baseline_digest = baseline.final_digest;
+  report.baseline_epochs = baseline.epoch_digests;
+
+  if (options.faults.empty()) {
+    report.outcome = DetSimOutcome::kFaultFree;
+    report.run_digest = baseline.final_digest;
+    report.run_epochs = baseline.epoch_digests;
+    return report;
+  }
+
+  FaultInjector injector(options.faults);
+
+  if (options.faults.has_corruption()) {
+    // The only correct outcome is an abort with a crash dump naming the
+    // fault, so when the corruption applies this replay never returns.
+    // Reaching the code below means every corruption was inapplicable
+    // (kSkipped) or one escaped the invariant net (kDivergence -- a bug).
+    const SimResult run = replay_once(topo, seq, options, &injector);
+    report.run_digest = run.final_digest;
+    report.run_epochs = run.epoch_digests;
+    report.faults_applied = injector.injected();
+    if (injector.injected() > 0) {
+      report.outcome = DetSimOutcome::kDivergence;
+      report.detail = "corruption applied but the debug_checks net missed it";
+    } else if (run.final_digest != baseline.final_digest) {
+      report.outcome = DetSimOutcome::kDivergence;
+      report.detail = "skipped faults still changed the final digest";
+    } else {
+      report.outcome = DetSimOutcome::kSkipped;
+    }
+    return report;
+  }
+
+  // Recoverable plan: replay inside a pool region so a cancel fault rides
+  // the pool's structured-cancellation path and a perturb fault's chunk
+  // override actually changes worker interleaving. Replica 0 carries the
+  // injector; the others are fault-free controls.
+  std::optional<ScopedChunkOverride> chunk_override;
+  for (const Fault& fault : options.faults.faults()) {
+    if (fault.kind == FaultKind::kPerturbPool) {
+      // Chunk size derived from the step: 1 (maximal interleaving) .. 7.
+      chunk_override.emplace(1 + fault.step % 7);
+      break;
+    }
+  }
+
+  std::vector<std::uint64_t> digests(kReplicas, 0);
+  std::vector<char> done(kReplicas, 0);
+  bool cancelled = false;
+  try {
+    parallel_for(
+        kReplicas,
+        [&](std::size_t r) {
+          const SimResult res =
+              replay_once(topo, seq, options, r == 0 ? &injector : nullptr);
+          digests[r] = res.final_digest;
+          done[r] = 1;
+        },
+        options.n_threads);
+  } catch (const FaultInjectedError&) {
+    cancelled = true;  // latched the pool's cancel flag, rethrown at join
+  }
+  report.faults_applied = injector.injected();
+
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    if (done[r] != 0 && digests[r] != baseline.final_digest) {
+      report.outcome = DetSimOutcome::kDivergence;
+      report.run_digest = digests[r];
+      report.detail = "replica " + std::to_string(r) +
+                      " digest diverged from baseline: " +
+                      util::digest_hex(digests[r]) + " vs " +
+                      util::digest_hex(baseline.final_digest);
+      return report;
+    }
+  }
+
+  if (cancelled) {
+    // The cancel aborted replica 0 mid-sequence. Recovery means the pool
+    // and the process-global obs state came back clean: a fresh replay
+    // must reproduce the baseline digest exactly.
+    const SimResult retry = replay_once(topo, seq, options, nullptr);
+    report.run_digest = retry.final_digest;
+    report.run_epochs = retry.epoch_digests;
+    if (retry.final_digest != baseline.final_digest) {
+      report.outcome = DetSimOutcome::kDivergence;
+      report.detail = "post-cancel retry diverged from baseline";
+    } else {
+      report.outcome = DetSimOutcome::kCancelled;
+    }
+    return report;
+  }
+
+  // Replica 0 ran to completion: epoch-by-epoch agreement is the strong
+  // form of recovery (the state re-converged at every reallocation epoch,
+  // not just at the end).
+  const SimResult faulted = replay_once(topo, seq, options, &injector);
+  report.run_digest = faulted.final_digest;
+  report.run_epochs = faulted.epoch_digests;
+  const std::string mismatch =
+      first_epoch_mismatch(baseline.epoch_digests, faulted.epoch_digests);
+  if (!mismatch.empty()) {
+    report.outcome = DetSimOutcome::kDivergence;
+    report.detail = mismatch;
+    return report;
+  }
+  const bool perturbed = plan_has_kind(options.faults, FaultKind::kPerturbPool);
+  report.outcome = injector.injected() > 0 || perturbed
+                       ? DetSimOutcome::kRecovered
+                       : DetSimOutcome::kSkipped;
+  return report;
+}
+
+std::vector<std::uint64_t> digest_divergences(
+    const DetSimOptions& base, std::uint64_t n_seeds,
+    std::span<const std::size_t> chunk_overrides) {
+  PARTREE_ASSERT(base.faults.empty(),
+                 "the differential sweep replays fault-free");
+  const tree::Topology topo(base.n_pes);
+
+  std::vector<std::uint64_t> serial(n_seeds, 0);
+  for (std::uint64_t i = 0; i < n_seeds; ++i) {
+    DetSimOptions opts = base;
+    opts.seed = base.seed + i;
+    const core::TaskSequence seq =
+        detsim_sequence(topo, opts.seed, opts.n_events);
+    serial[i] = replay_once(topo, seq, opts, nullptr).final_digest;
+  }
+
+  static constexpr std::size_t kDefaultChunks[] = {0};
+  const std::span<const std::size_t> chunks =
+      chunk_overrides.empty() ? std::span<const std::size_t>(kDefaultChunks)
+                              : chunk_overrides;
+
+  std::vector<char> diverged(n_seeds, 0);
+  for (const std::size_t chunk : chunks) {
+    const ScopedChunkOverride chunk_scope(chunk);
+    parallel_for(
+        n_seeds,
+        [&](std::size_t i) {
+          DetSimOptions opts = base;
+          opts.seed = base.seed + i;
+          const core::TaskSequence seq =
+              detsim_sequence(topo, opts.seed, opts.n_events);
+          if (replay_once(topo, seq, opts, nullptr).final_digest !=
+              serial[i]) {
+            diverged[i] = 1;
+          }
+        },
+        base.n_threads);
+  }
+
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < n_seeds; ++i) {
+    if (diverged[i] != 0) out.push_back(base.seed + i);
+  }
+  return out;
+}
+
+DetSimOptions shrink_failing(
+    DetSimOptions failing,
+    const std::function<bool(const DetSimOptions&)>& still_fails) {
+  PARTREE_ASSERT(still_fails(failing),
+                 "shrink_failing requires a failing configuration");
+
+  // Pass 1: drop whole faults while the failure persists.
+  bool dropped = true;
+  while (dropped && failing.faults.size() > 1) {
+    dropped = false;
+    const std::vector<Fault>& faults = failing.faults.faults();
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      std::vector<Fault> fewer;
+      for (std::size_t j = 0; j < faults.size(); ++j) {
+        if (j != i) fewer.push_back(faults[j]);
+      }
+      DetSimOptions candidate = failing;
+      candidate.faults = FaultPlan(std::move(fewer));
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        dropped = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: lower each surviving step -- halve while that still fails,
+  // then bounded decrement to polish. Plans stay strictly increasing
+  // because steps only move down and a candidate that collides is
+  // rejected before probing.
+  const std::size_t n_faults = failing.faults.size();
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    const auto with_step = [&](std::uint64_t step)
+        -> std::optional<DetSimOptions> {
+      std::vector<Fault> faults = failing.faults.faults();
+      faults[i].step = step;
+      for (std::size_t j = 1; j < faults.size(); ++j) {
+        if (faults[j - 1].step >= faults[j].step) return std::nullopt;
+      }
+      DetSimOptions candidate = failing;
+      candidate.faults = FaultPlan(std::move(faults));
+      return candidate;
+    };
+    while (failing.faults.faults()[i].step > 1) {
+      const std::uint64_t half = failing.faults.faults()[i].step / 2;
+      const std::optional<DetSimOptions> candidate = with_step(half);
+      if (!candidate || !still_fails(*candidate)) break;
+      failing = *candidate;
+    }
+    for (int polish = 0; polish < 64; ++polish) {
+      const std::uint64_t step = failing.faults.faults()[i].step;
+      if (step <= 1) break;
+      const std::optional<DetSimOptions> candidate = with_step(step - 1);
+      if (!candidate || !still_fails(*candidate)) break;
+      failing = *candidate;
+    }
+  }
+  return failing;
+}
+
+ReproSpec to_repro(const DetSimOptions& options, const DetSimReport& report) {
+  ReproSpec spec;
+  spec.n_pes = options.n_pes;
+  spec.allocator = options.allocator;
+  spec.seed = options.seed;
+  spec.faults = options.faults;
+  spec.expect = options.faults.has_corruption()
+                    ? "crash"
+                    : report.outcome == DetSimOutcome::kDivergence
+                          ? "divergence"
+                          : "recovered";
+  spec.baseline_digest = report.baseline_digest;
+  return spec;
+}
+
+}  // namespace partree::sim

@@ -6,6 +6,7 @@
 #include "obs/counters.hpp"
 #include "obs/timing.hpp"
 #include "obs/trace.hpp"
+#include "sim/faults.hpp"
 #include "sim/slowdown.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -15,22 +16,34 @@ namespace {
 
 // debug_checks violation: preserve the evidence (flight record, counters,
 // phase times) before aborting -- the last K engine events usually point
-// straight at the mutation that corrupted the state.
-void invariant_failure(const char* msg) {
+// straight at the mutation that corrupted the state. When a fault injector
+// is armed, the most recently applied fault rides along in the reason, so
+// the partree-crash-v1 dump names the injected component and step.
+[[noreturn]] void invariant_failure(std::string msg,
+                                    const FaultInjector* injector) {
+  if (injector != nullptr && !injector->context().empty()) {
+    msg += " [injected fault ";
+    msg += injector->context();
+    msg += "]";
+  }
   obs::write_crash_dump(msg);
-  util::assert_fail("debug_checks", __FILE__, __LINE__, msg);
+  util::assert_fail("debug_checks", __FILE__, __LINE__, msg.c_str());
 }
 
 // EngineOptions::debug_checks: recompute the aggregates the O(log N)
-// incremental updates maintain and compare. Catches drift introduced by
-// hot-path changes (e.g. instrumentation edits) immediately, next to the
-// event that caused it.
-void check_state_invariants(const core::MachineState& state) {
+// incremental updates maintain and compare, then let the allocator audit
+// its own bookkeeping (e.g. a CopySet's indexes). Catches drift introduced
+// by hot-path changes (e.g. instrumentation edits) immediately, next to
+// the event that caused it.
+void check_state_invariants(const core::MachineState& state,
+                            const core::Allocator& allocator,
+                            const FaultInjector* injector) {
   const std::vector<std::uint64_t> loads = state.pe_loads();
   const std::uint64_t max_load =
       loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
   if (state.max_load() != max_load) {
-    invariant_failure("debug check: LoadTree max_load != max over pe_loads");
+    invariant_failure("debug check: LoadTree max_load != max over pe_loads",
+                      injector);
   }
 
   std::uint64_t active_size = 0;
@@ -39,10 +52,16 @@ void check_state_invariants(const core::MachineState& state) {
   }
   if (state.active_size() != active_size) {
     invariant_failure(
-        "debug check: LoadTree total != sum of active task sizes");
+        "debug check: LoadTree total != sum of active task sizes", injector);
   }
   if (state.loads().active_tasks() != state.active_count()) {
-    invariant_failure("debug check: active task counts disagree");
+    invariant_failure("debug check: active task counts disagree", injector);
+  }
+
+  const std::string allocator_error = allocator.debug_check_state();
+  if (!allocator_error.empty()) {
+    invariant_failure("debug check: allocator state: " + allocator_error,
+                      injector);
   }
 }
 
@@ -93,6 +112,17 @@ SimResult Engine::run_interactive(core::EventSource& source,
   allocator.reset();
   core::MachineState state(topo_);
 
+  FaultInjector* injector = options_.faults;
+  if (injector != nullptr) {
+    // Corruption faults are only observable through the debug_checks net;
+    // running them without it would corrupt silently -- the exact failure
+    // mode detsim exists to rule out.
+    PARTREE_ASSERT(!injector->plan().has_corruption() ||
+                       options_.debug_checks,
+                   "corruption faults require EngineOptions::debug_checks");
+    injector->begin_run();
+  }
+
   SimResult result;
   result.allocator = allocator.name();
   result.n_pes = topo_.n_leaves();
@@ -101,6 +131,52 @@ SimResult Engine::run_interactive(core::EventSource& source,
   if (options_.record_slowdowns) slowdowns.emplace(topo_);
 
   while (auto event = source.next(state)) {
+    const std::uint64_t step = result.events;
+    bool fail_alloc_once = false;
+    bool reallocated = false;
+    if (injector != nullptr) {
+      if (const Fault* fault = injector->on_step(step)) {
+        bool applied = false;
+        switch (fault->kind) {
+          case FaultKind::kAllocFail:
+            // Applies to the arrival below: its first placement
+            // application fails transiently and is rolled back + retried.
+            fail_alloc_once = event->kind == core::EventKind::kArrival;
+            applied = fail_alloc_once;
+            break;
+          case FaultKind::kCancel:
+            injector->record_applied(*fault, true);
+            obs::emit_instant(obs::Instant::kFaultInjected, step);
+            throw FaultInjectedError(*fault);
+          case FaultKind::kCorruptLoadTree:
+            state.debug_corrupt_loads(tree::NodeId{state.n_pes()}, 1000);
+            applied = true;
+            break;
+          case FaultKind::kCorruptActiveMap:
+            applied = state.debug_corrupt_drop_active();
+            break;
+          case FaultKind::kCorruptCopySet:
+            applied = allocator.debug_corrupt_state();
+            break;
+          case FaultKind::kPerturbPool:
+          case FaultKind::kCount:
+            break;  // replay-level fault; nothing for the engine to do
+        }
+        injector->record_applied(*fault, applied);
+        if (applied) {
+          ++result.faults_injected;
+          obs::emit_instant(obs::Instant::kFaultInjected, step);
+        }
+        // A corruption must die at the fault step, before the (possibly
+        // now-invalid) event is processed against the broken state -- a
+        // departure of a dropped task would otherwise abort on a model
+        // assertion with no crash dump.
+        if (applied && fault_is_corruption(fault->kind)) {
+          check_state_invariants(state, allocator, injector);
+        }
+      }
+    }
+
     if (event->kind == core::EventKind::kArrival) {
       const core::Task& task = event->task;
       if (recorded != nullptr) recorded->arrive_as(task.id, task.size);
@@ -108,8 +184,16 @@ SimResult Engine::run_interactive(core::EventSource& source,
         const obs::ScopedTimer place_timer(obs::Phase::kPlace);
         const tree::NodeId node = allocator.place(task, state);
         state.place(task, node);
+        if (fail_alloc_once) {
+          // Injected transient allocation failure: the decision was made
+          // but its application "failed"; roll the state back and retry
+          // the same decision. Recovery must be digest-exact -- the
+          // roll-back exercises the assign/release paths under fire.
+          state.remove(task.id);
+          state.place(task, node);
+        }
       }
-      bool reallocated = false;
+      reallocated = false;
       {
         const obs::ScopedTimer realloc_timer(obs::Phase::kReallocate);
         if (auto migrations = allocator.maybe_reallocate(state)) {
@@ -163,13 +247,26 @@ SimResult Engine::run_interactive(core::EventSource& source,
       }
     }
     if (options_.record_series) result.load_series.push_back(load);
+    if (options_.record_digests && reallocated) {
+      const std::uint64_t digest = state.digest();
+      result.epoch_digests.push_back({result.events, digest});
+      obs::emit_instant(obs::Instant::kStateDigest, digest);
+    }
     if (obs::tracing_enabled() &&
         result.events % std::max<std::uint64_t>(
                             options_.trace_sample_every, 1) == 0) {
       obs::emit_counters(load, state.optimal_load(), state.active_size(),
                          state.active_count());
     }
-    if (options_.debug_checks) check_state_invariants(state);
+    if (options_.debug_checks) {
+      check_state_invariants(state, allocator, injector);
+    }
+  }
+
+  if (options_.record_digests) {
+    result.final_digest = state.digest();
+    result.epoch_digests.push_back({result.events, result.final_digest});
+    obs::emit_instant(obs::Instant::kStateDigest, result.final_digest);
   }
 
   if (slowdowns) {

@@ -17,6 +17,8 @@ class TraceSink;
 
 namespace partree::sim {
 
+class FaultInjector;
+
 struct EngineOptions {
   /// Record the post-event max-load series (needed for max_tau E[L]).
   bool record_series = false;
@@ -40,6 +42,19 @@ struct EngineOptions {
   obs::TraceSink* trace = nullptr;
   /// Events between counter samples while tracing (>= 1).
   std::uint64_t trace_sample_every = 64;
+  /// Record a MachineState digest at every reallocation epoch boundary
+  /// (after each applied reallocation and at run end) into
+  /// SimResult::epoch_digests / final_digest, and emit each one as a
+  /// kStateDigest trace instant. The digests are detsim's cheap
+  /// equivalence oracle for differential replay. O(active tasks) per
+  /// epoch; off by default so fault-free hot paths pay nothing.
+  bool record_digests = false;
+  /// When non-null, the run consults the injector once per event and
+  /// applies any scheduled fault (sim/faults.hpp documents the per-kind
+  /// semantics). Corruption faults require debug_checks, which then dies
+  /// with a crash dump whose reason names the fault; the injector is
+  /// begin_run()-reset at the start of every run.
+  FaultInjector* faults = nullptr;
   /// Invoked with each reallocation's migration list BEFORE it is applied
   /// (placements in `from` are still live); used e.g. to price migrations
   /// on a concrete interconnect.

@@ -61,7 +61,8 @@ void WorkerPool::run(std::size_t n,
 
   fn_ = &fn;
   n_ = n;
-  chunk_ = chunk_for(n, k);
+  const std::size_t forced = chunk_override_.load(std::memory_order_relaxed);
+  chunk_ = forced != 0 ? forced : chunk_for(n, k);
   participants_ = k;
   running_ = k;
   next_.store(0, std::memory_order_relaxed);

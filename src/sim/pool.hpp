@@ -69,6 +69,19 @@ class WorkerPool {
   /// shutdown). Grows to the largest worker count any region resolved to.
   [[nodiscard]] std::size_t started_workers() const;
 
+  /// Scheduling override for detsim interleaving perturbation: a non-zero
+  /// value replaces chunk_for's heuristic chunk size for every subsequent
+  /// region (1 = maximal interleaving, workers race for single items).
+  /// Results must be interleaving-invariant, so detsim sweeps chunk sizes
+  /// and compares state digests; 0 restores the heuristic. Cheap atomic;
+  /// set it at quiescent points (it is read at region dispatch).
+  void set_chunk_override(std::size_t chunk) noexcept {
+    chunk_override_.store(chunk, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t chunk_override() const noexcept {
+    return chunk_override_.load(std::memory_order_relaxed);
+  }
+
  private:
   void ensure_workers_locked(std::size_t k);
   void worker_main(std::size_t w, std::uint64_t seen_epoch);
@@ -92,6 +105,7 @@ class WorkerPool {
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> next_{0};  ///< ticket: first unclaimed index
   std::atomic<bool> cancel_{false};   ///< latched by the first error
+  std::atomic<std::size_t> chunk_override_{0};  ///< detsim perturbation
   std::mutex error_mutex_;
   std::exception_ptr error_;  ///< first error (error_mutex_ during region)
 };

@@ -10,6 +10,17 @@
 
 namespace partree::sim {
 
+/// One canonical MachineState digest taken at a reallocation-epoch
+/// boundary (see EngineOptions::record_digests).
+struct EpochDigest {
+  /// Events processed when the digest was taken (1-based: the digest
+  /// covers the state after event `event`).
+  std::uint64_t event = 0;
+  std::uint64_t digest = 0;
+
+  friend bool operator==(const EpochDigest&, const EpochDigest&) = default;
+};
+
 /// Outcome of replaying one sequence through one allocator.
 struct SimResult {
   std::string allocator;
@@ -42,6 +53,15 @@ struct SimResult {
   /// Per-PE load histogram captured at the first moment of peak load;
   /// filled only when requested.
   util::Histogram peak_pe_histogram;
+
+  /// Per-reallocation-epoch state digests plus the end-of-run digest;
+  /// filled only when EngineOptions::record_digests is set.
+  std::vector<EpochDigest> epoch_digests;
+  /// MachineState digest at run end (0 unless record_digests).
+  std::uint64_t final_digest = 0;
+  /// Faults actually applied by the injector during this run (0 when no
+  /// injector was armed or every scheduled fault was inapplicable).
+  std::uint64_t faults_injected = 0;
 
   /// Observability counters attributed to this run (the engine thread's
   /// obs counter delta across the replay; zeros when counting is off).

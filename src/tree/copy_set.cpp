@@ -1,7 +1,9 @@
 #include "tree/copy_set.hpp"
 
 #include <bit>
+#include <string>
 
+#include "util/digest.hpp"
 #include "util/math.hpp"
 
 namespace partree::tree {
@@ -129,6 +131,73 @@ void CopySet::remove(const CopyPlacement& placement) {
     copies_.pop_back();
     copy_rank_.pop_back();
   }
+}
+
+std::uint64_t CopySet::digest() const {
+  util::Fnv fnv;
+  fnv.mix(topo_.n_leaves());
+  fnv.mix(copies_.size());
+  for (std::uint64_t k = 0; k < copies_.size(); ++k) {
+    fnv.mix(k);
+    if (!copies_[k]) {
+      fnv.mix(0);  // empty slot == fully vacant copy, storage or not
+      continue;
+    }
+    // Occupied subtree roots form a set; fold commutatively so the digest
+    // does not depend on enumeration order.
+    std::uint64_t occupancy = 0;
+    for (NodeId v = 1; v <= topo_.n_nodes(); ++v) {
+      if (copies_[k]->occupied(v)) {
+        occupancy = util::commutative_add(occupancy, util::element_digest(v));
+      }
+    }
+    fnv.mix(occupancy);
+    fnv.mix(copies_[k]->used());
+  }
+  fnv.mix(used_);
+  return fnv.value();
+}
+
+std::string CopySet::check() const {
+  std::uint64_t used = 0;
+  std::uint64_t live = 0;
+  const std::uint64_t n_words = (copies_.size() + 63) / 64;
+  for (std::uint64_t k = 0; k < copies_.size(); ++k) {
+    if (copies_[k]) {
+      used += copies_[k]->used();
+      ++live;
+    }
+    const std::uint32_t want_rank = rank_of(max_free_of(k));
+    if (copy_rank_[k] != want_rank) {
+      return "copy " + std::to_string(k) + " rank " +
+             std::to_string(copy_rank_[k]) + " != recomputed " +
+             std::to_string(want_rank);
+    }
+    for (std::uint32_t j = 0; j < n_levels_; ++j) {
+      const bool bit =
+          (fits_[(k / 64) * n_levels_ + j] >> (k % 64)) & 1ULL;
+      if (bit != (j < want_rank)) {
+        return "copy " + std::to_string(k) + " fits_ bit at level " +
+               std::to_string(j) + " disagrees with rank";
+      }
+    }
+  }
+  if (fits_.size() != n_words * n_levels_) {
+    return "fits_ word count does not match copy count";
+  }
+  if (used != used_) {
+    return "used " + std::to_string(used_) + " != sum over copies " +
+           std::to_string(used);
+  }
+  if (live != live_copies_) {
+    return "live copy count " + std::to_string(live_copies_) +
+           " != recomputed " + std::to_string(live);
+  }
+  return "";
+}
+
+void CopySet::debug_corrupt_used(std::uint64_t used) {
+  used_ = used;  // per-copy occupancy deliberately left untouched
 }
 
 void CopySet::clear() {

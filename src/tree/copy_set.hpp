@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "tree/vacancy_tree.hpp"
@@ -74,6 +75,27 @@ class CopySet {
   [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
 
   void clear();
+
+  /// Canonical 64-bit state digest. Copies are an ordered stack, so copy
+  /// indices are mixed in order; WITHIN a copy the occupied subtree roots
+  /// form a set and fold commutatively. An empty interior slot digests
+  /// identically whether its storage is reclaimed or never existed, and
+  /// trailing-empty discard is deterministic, so behaviourally equal sets
+  /// digest equal. O(copies * N).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Recomputes every maintained aggregate (used_, live_copies_, per-copy
+  /// ranks, fits_ bitset membership) from the ground-truth occupancy and
+  /// compares. Returns "" when consistent, else a description of the first
+  /// inconsistency. The engine's debug_checks net calls this through
+  /// Allocator::debug_check_state for CopySet-backed allocators.
+  [[nodiscard]] std::string check() const;
+
+  /// TEST-ONLY fault injection: overwrites the cumulative used-PE count
+  /// without touching any copy, leaving the set internally inconsistent on
+  /// purpose so check() and the crash-dump path can be exercised. Never
+  /// call outside tests/fault injection.
+  void debug_corrupt_used(std::uint64_t used);
 
  private:
   /// Rank of a max_free value: 0 for a full copy, exact_log2 + 1 for the

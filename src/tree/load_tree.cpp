@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "util/digest.hpp"
 
 namespace partree::tree {
 
@@ -134,6 +135,16 @@ void LoadTree::clear() {
   std::fill(down_.begin(), down_.end(), 0);
   active_size_ = 0;
   active_tasks_ = 0;
+}
+
+std::uint64_t LoadTree::digest() const {
+  util::Fnv fnv;
+  fnv.mix(topo_.n_leaves());
+  for (NodeId v = 1; v <= topo_.n_nodes(); ++v) fnv.mix(add_[v]);
+  fnv.mix(down_[1]);
+  fnv.mix(active_size_);
+  fnv.mix(active_tasks_);
+  return fnv.value();
 }
 
 void LoadTree::debug_corrupt_add(NodeId v, std::uint64_t count) {

@@ -70,6 +70,12 @@ class LoadTree {
 
   void clear();
 
+  /// Canonical 64-bit state digest: FNV-1a over the per-node task counts
+  /// (positional, index order -- the tree is a positional structure) plus
+  /// the maintained aggregates, so a digest mismatch flags either a
+  /// different occupancy or drifted incremental aggregates. O(N).
+  [[nodiscard]] std::uint64_t digest() const;
+
   /// TEST-ONLY fault injection: overwrites the task count rooted at v
   /// without touching any aggregate, leaving the tree internally
   /// inconsistent on purpose so the invariant nets (EngineOptions::

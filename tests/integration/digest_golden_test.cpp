@@ -1,0 +1,79 @@
+// Golden pin of the canonical state digests (experiment-facing detsim
+// oracle).
+//
+// Freezes MachineState::digest() for two fixed workloads:
+//   * the paper's Figure-1 worked example sigma* (per-allocator final and
+//     reallocation-epoch digests), and
+//   * one fixed draw of the sigma_r random lower-bound schedule at
+//     N = 2^16 under the basic allocator.
+// Any change to placement decisions, load accounting, or the digest
+// definition itself shows up as a byte diff here. If the change is
+// intentional, regenerate the golden file from the failure output.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adversary/rand_sequence.hpp"
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "sim/engine.hpp"
+#include "util/digest.hpp"
+#include "util/rng.hpp"
+
+namespace partree {
+namespace {
+
+std::string render_digest_report() {
+  std::ostringstream out;
+
+  out << "sigma* (Figure 1) on the 4-PE tree\n";
+  const tree::Topology fig_topo(4);
+  const core::TaskSequence sigma_star = core::figure1_sequence();
+  for (const char* spec : {"greedy", "dmix:d=1", "optimal", "basic"}) {
+    auto allocator = core::make_allocator(spec, fig_topo);
+    sim::Engine engine(fig_topo, sim::EngineOptions{.record_digests = true});
+    const sim::SimResult result = engine.run(sigma_star, *allocator);
+    out << result.allocator << ": final=" << util::digest_hex(result.final_digest)
+        << " epochs=";
+    for (std::size_t i = 0; i < result.epoch_digests.size(); ++i) {
+      if (i > 0) out << ",";
+      out << result.epoch_digests[i].event << ":"
+          << util::digest_hex(result.epoch_digests[i].digest);
+    }
+    out << "\n";
+  }
+
+  out << "sigma_r (Theorem 5.2 schedule) N=2^16 seed=424242 alloc=basic\n";
+  const tree::Topology lb_topo(std::uint64_t{1} << 16);
+  util::Rng rng(424242);
+  adversary::RandSequenceStats stats;
+  const core::TaskSequence sigma_r =
+      adversary::random_lb_sequence(lb_topo, rng, &stats);
+  auto basic = core::make_allocator("basic", lb_topo);
+  sim::Engine engine(lb_topo, sim::EngineOptions{.record_digests = true});
+  const sim::SimResult result = engine.run(sigma_r, *basic);
+  out << "phases=" << stats.phases << " arrivals=" << stats.arrivals
+      << " survivors=" << stats.survivors << "\n";
+  out << "events=" << result.events << " max_load=" << result.max_load
+      << " final=" << util::digest_hex(result.final_digest) << "\n";
+  return out.str();
+}
+
+TEST(DigestGoldenTest, StateDigestsMatchGoldenFile) {
+  const std::string path =
+      std::string(PARTREE_GOLDEN_DIR) + "/state_digests.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot read golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const std::string actual = render_digest_report();
+  EXPECT_EQ(actual, golden.str())
+      << "State digests drifted from the golden file. If the change is "
+         "intentional, update " << path << " to:\n" << actual;
+}
+
+}  // namespace
+}  // namespace partree

@@ -12,6 +12,19 @@
 namespace partree {
 namespace {
 
+// Per-test seed derivation: each test body draws its seed from its own
+// split of an Rng keyed by the suite parameter. The old GetParam()+offset
+// scheme handed different tests overlapping windows of one linear seed
+// space, so adjacent parameters (and adjacent tests) ran correlated
+// SplitMix64-seeded streams; splitting gives independent streams and a
+// single number to replay. Assertion failures log it via SCOPED_TRACE.
+std::uint64_t stream_seed(std::uint64_t param, std::uint64_t stream) {
+  util::Rng rng(param);
+  util::Rng child = rng.split();
+  for (std::uint64_t s = 0; s < stream; ++s) child = rng.split();
+  return child();
+}
+
 core::TaskSequence fuzz_sequence(const tree::Topology& topo,
                                  std::uint64_t seed) {
   util::Rng rng(seed);
@@ -35,8 +48,10 @@ core::TaskSequence fuzz_sequence(const tree::Topology& topo,
 class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSeeds, DmixZeroEqualsOptimalSeries) {
+  const std::uint64_t seed = stream_seed(GetParam(), 0);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(64);
-  const auto seq = fuzz_sequence(topo, GetParam());
+  const auto seq = fuzz_sequence(topo, seed);
   sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
   auto optimal = core::make_allocator("optimal", topo);
   auto dmix0 = core::make_allocator("dmix:d=0", topo);
@@ -45,8 +60,10 @@ TEST_P(FuzzSeeds, DmixZeroEqualsOptimalSeries) {
 }
 
 TEST_P(FuzzSeeds, GreedyFastEqualsGreedyExact) {
+  const std::uint64_t seed = stream_seed(GetParam(), 1);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(128);
-  const auto seq = fuzz_sequence(topo, GetParam() + 1000);
+  const auto seq = fuzz_sequence(topo, seed);
   sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
   auto exact = core::make_allocator("greedy", topo);
   auto fast = core::make_allocator("greedy-fast", topo);
@@ -58,11 +75,13 @@ TEST_P(FuzzSeeds, RandmixZeroMatchesOptimalLoad) {
   // d = 0 repacks on every arrival, erasing the random placement before
   // measurement: the load series must equal A_C's even though the
   // transient placements differ.
+  const std::uint64_t seed = stream_seed(GetParam(), 2);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(32);
-  const auto seq = fuzz_sequence(topo, GetParam() + 2000);
+  const auto seq = fuzz_sequence(topo, seed);
   sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
   auto optimal = core::make_allocator("optimal", topo);
-  auto randmix = core::make_allocator("randmix:d=0", topo, GetParam());
+  auto randmix = core::make_allocator("randmix:d=0", topo, seed);
   EXPECT_EQ(engine.run(seq, *optimal).load_series,
             engine.run(seq, *randmix).load_series);
 }
@@ -71,24 +90,28 @@ TEST_P(FuzzSeeds, EveryAllocatorRespectsOptimalFloor) {
   // debug_checks re-derives the LoadTree aggregates (max over pe_loads,
   // sum of active sizes) after every event, so this doubles as the engine
   // invariant property test across every allocator.
+  const std::uint64_t seed = stream_seed(GetParam(), 3);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(64);
-  const auto seq = fuzz_sequence(topo, GetParam() + 3000);
+  const auto seq = fuzz_sequence(topo, seed);
   sim::Engine engine(topo, sim::EngineOptions{.debug_checks = true});
   for (const std::string& spec : core::known_allocator_specs()) {
-    auto alloc = core::make_allocator(spec, topo, GetParam());
+    auto alloc = core::make_allocator(spec, topo, seed);
     const auto result = engine.run(seq, *alloc);
     EXPECT_GE(result.max_load, result.optimal_load) << spec;
   }
 }
 
 TEST_P(FuzzSeeds, SlowdownNeverExceedsMaxLoad) {
+  const std::uint64_t seed = stream_seed(GetParam(), 4);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(64);
-  const auto seq = fuzz_sequence(topo, GetParam() + 4000);
+  const auto seq = fuzz_sequence(topo, seed);
   sim::EngineOptions options;
   options.record_slowdowns = true;
   sim::Engine engine(topo, options);
   for (const char* spec : {"greedy", "basic", "dmix:d=1", "random"}) {
-    auto alloc = core::make_allocator(spec, topo, GetParam());
+    auto alloc = core::make_allocator(spec, topo, seed);
     const auto result = engine.run(seq, *alloc);
     EXPECT_LE(result.worst_slowdown, result.max_load) << spec;
     for (const std::uint64_t s : result.task_slowdowns) {
@@ -98,8 +121,10 @@ TEST_P(FuzzSeeds, SlowdownNeverExceedsMaxLoad) {
 }
 
 TEST_P(FuzzSeeds, TheoremBoundsHold) {
+  const std::uint64_t seed = stream_seed(GetParam(), 5);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(128);
-  const auto seq = fuzz_sequence(topo, GetParam() + 5000);
+  const auto seq = fuzz_sequence(topo, seed);
   sim::Engine engine(topo);
 
   auto greedy = core::make_allocator("greedy", topo);
@@ -122,8 +147,10 @@ TEST_P(FuzzSeeds, TheoremBoundsHold) {
 TEST_P(FuzzSeeds, KaryBinaryMatchesCoreGreedy) {
   // Translate the same event list into the k-ary runner with arity 2; the
   // generalized greedy must report identical max load and L*.
+  const std::uint64_t seed = stream_seed(GetParam(), 6);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(64);
-  const auto seq = fuzz_sequence(topo, GetParam() + 6000);
+  const auto seq = fuzz_sequence(topo, seed);
 
   std::vector<karytree::KEvent> kevents;
   for (const core::Event& e : seq.events()) {
@@ -147,8 +174,10 @@ TEST_P(FuzzSeeds, KaryBinaryMatchesCoreGreedy) {
 }
 
 TEST_P(FuzzSeeds, KaryBinaryBasicMatchesCoreBasic) {
+  const std::uint64_t seed = stream_seed(GetParam(), 7);
+  SCOPED_TRACE("fuzz seed=" + std::to_string(seed));
   const tree::Topology topo(64);
-  const auto seq = fuzz_sequence(topo, GetParam() + 7000);
+  const auto seq = fuzz_sequence(topo, seed);
 
   std::vector<karytree::KEvent> kevents;
   for (const core::Event& e : seq.events()) {
