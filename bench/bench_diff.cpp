@@ -84,6 +84,19 @@ int main(int argc, char** argv) {
     std::printf("  %-30s %10.3f ms -> %10.3f ms   x%.3f\n",
                 base.name.c_str(), base.median_ms, cur->median_ms, ratio);
   }
+  // Suites only in the current report have no baseline to regress against:
+  // call them out (usually a rename or a new bench) instead of silently
+  // leaving them ungated.
+  const obs::SuiteDiff diff = obs::diff_suite_names(baseline, current);
+  for (const std::string& name : diff.added) {
+    const obs::BenchSuite* cur = current.find_suite(name);
+    std::printf("  %-30s NEW (no baseline)%*s %10.3f ms\n", name.c_str(), 3,
+                "", cur != nullptr ? cur->median_ms : 0.0);
+  }
+  if (!diff.removed.empty() || !diff.added.empty()) {
+    std::printf("suite-set drift: %zu removed, %zu added\n",
+                diff.removed.size(), diff.added.size());
+  }
 
   const auto regressions = compare_reports(baseline, current, options);
   if (regressions.empty()) {

@@ -36,6 +36,25 @@ Counters counters_from_json(const util::json::Value& v) {
   return out;
 }
 
+// A wall-time field that is absent, non-numeric (e.g. the string "NaN"),
+// or non-finite renames the generic parse error to point at the suite and
+// field -- a damaged baseline must fail loudly, not poison comparisons.
+double finite_ms(const util::json::Value& suite, std::string_view key,
+                 const std::string& name) {
+  double value = 0.0;
+  try {
+    value = suite.at(key).as_double();
+  } catch (const std::exception& e) {
+    throw std::runtime_error("bench json: suite '" + name + "' field '" +
+                             std::string(key) + "': " + e.what());
+  }
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("bench json: suite '" + name + "' field '" +
+                             std::string(key) + "' is not a finite number");
+  }
+  return value;
+}
+
 }  // namespace
 
 void BenchSuite::finalize_stats() {
@@ -113,12 +132,23 @@ BenchReport report_from_json(const util::json::Value& v) {
     suite.n = s.at("n").as_u64();
     suite.reps = s.at("reps").as_u64();
     for (const util::json::Value& w : s.at("wall_ms").as_array()) {
-      suite.wall_ms.push_back(w.as_double());
+      double wall = 0.0;
+      try {
+        wall = w.as_double();
+      } catch (const std::exception& e) {
+        throw std::runtime_error("bench json: suite '" + suite.name +
+                                 "' field 'wall_ms': " + e.what());
+      }
+      if (!std::isfinite(wall)) {
+        throw std::runtime_error("bench json: suite '" + suite.name +
+                                 "' field 'wall_ms' has a non-finite entry");
+      }
+      suite.wall_ms.push_back(wall);
     }
-    suite.median_ms = s.at("median_ms").as_double();
-    suite.p90_ms = s.at("p90_ms").as_double();
-    suite.mean_ms = s.at("mean_ms").as_double();
-    suite.min_ms = s.at("min_ms").as_double();
+    suite.median_ms = finite_ms(s, "median_ms", suite.name);
+    suite.p90_ms = finite_ms(s, "p90_ms", suite.name);
+    suite.mean_ms = finite_ms(s, "mean_ms", suite.name);
+    suite.min_ms = finite_ms(s, "min_ms", suite.name);
     suite.counters = counters_from_json(s.at("counters"));
     if (const util::json::Value* o = s.find("counter_overhead_pct")) {
       suite.counter_overhead_pct = o->as_double();
@@ -129,6 +159,22 @@ BenchReport report_from_json(const util::json::Value& v) {
     report.suites.push_back(std::move(suite));
   }
   return report;
+}
+
+SuiteDiff diff_suite_names(const BenchReport& baseline,
+                           const BenchReport& current) {
+  SuiteDiff diff;
+  for (const BenchSuite& base : baseline.suites) {
+    if (current.find_suite(base.name) == nullptr) {
+      diff.removed.push_back(base.name);
+    }
+  }
+  for (const BenchSuite& cur : current.suites) {
+    if (baseline.find_suite(cur.name) == nullptr) {
+      diff.added.push_back(cur.name);
+    }
+  }
+  return diff;
 }
 
 std::vector<Regression> compare_reports(const BenchReport& baseline,

@@ -64,8 +64,23 @@ struct BenchReport {
 
 [[nodiscard]] util::json::Value to_json(const BenchReport& report);
 
-/// Throws std::runtime_error on schema mismatch or malformed fields.
+/// Throws std::runtime_error on schema mismatch or malformed fields. Every
+/// wall-time field (wall_ms entries, median/p90/mean/min) must be a finite
+/// number; a NaN/string/absent time throws an error naming the suite and
+/// field, so a damaged baseline fails the gate loudly instead of poisoning
+/// every comparison it feeds.
 [[nodiscard]] BenchReport report_from_json(const util::json::Value& v);
+
+/// Suite-name difference for diagnostics: `removed` = present in baseline
+/// but gone from current (these also surface as regressions), `added` =
+/// present only in current (new suites; informational -- they have no
+/// baseline to regress against). Both keep their report's suite order.
+struct SuiteDiff {
+  std::vector<std::string> removed;
+  std::vector<std::string> added;
+};
+[[nodiscard]] SuiteDiff diff_suite_names(const BenchReport& baseline,
+                                         const BenchReport& current);
 
 /// One suite whose median wall time regressed (or disappeared).
 struct Regression {

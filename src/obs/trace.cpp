@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
-#include <fstream>
+#include <filesystem>
 #include <mutex>
 
 #include "obs/counters.hpp"
+#include "util/file.hpp"
 #include "util/json.hpp"
 
 namespace partree::obs {
@@ -162,6 +164,7 @@ std::string_view instant_name(Instant i) noexcept {
     case Instant::kMigrationBatch: return "migration_batch";
     case Instant::kFaultInjected: return "fault_injected";
     case Instant::kStateDigest: return "state_digest";
+    case Instant::kSweepShard: return "sweep_shard";
     case Instant::kCount: break;
   }
   return "unknown";
@@ -293,17 +296,33 @@ std::string write_crash_dump(std::string_view reason) {
     path = crash_path_override();
   }
   if (path.empty()) {
+    // Default: partree_crash_<unix_ts>.json in PARTREE_CRASH_DIR (created
+    // if missing), falling back to the working directory. Dumps used to
+    // land unconditionally in the CWD, which littered source checkouts.
     path = "partree_crash_" +
            std::to_string(static_cast<long long>(std::time(nullptr))) +
            ".json";
+    if (const char* dir = std::getenv("PARTREE_CRASH_DIR");
+        dir != nullptr && *dir != '\0') {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr,
+                     "partree: cannot create PARTREE_CRASH_DIR %s (%s); "
+                     "dumping to the working directory\n",
+                     dir, ec.message().c_str());
+      } else {
+        path = std::string(dir) + "/" + path;
+      }
+    }
   }
-  std::ofstream out(path);
-  if (!out) {
+  // Atomic tmp + rename: a crash mid-dump must never leave a truncated
+  // JSON file masquerading as a complete crash record.
+  if (!util::write_file_atomic(path, dump + "\n")) {
     std::fprintf(stderr, "partree: cannot write crash dump %s\n",
                  path.c_str());
     return "";
   }
-  out << dump << "\n";
   std::fprintf(stderr, "partree: crash dump written to %s\n", path.c_str());
   return path;
 }

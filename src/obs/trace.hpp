@@ -50,6 +50,9 @@ enum class Instant : std::uint8_t {
   kFaultInjected,
   /// One per-reallocation-epoch MachineState digest; payload = the digest.
   kStateDigest,
+  /// One sweep shard completed (sim/sweep.hpp run_shard); payload = the
+  /// shard index.
+  kSweepShard,
   kCount,
 };
 
@@ -168,14 +171,16 @@ void emit_counters(std::uint64_t max_load, std::uint64_t l_star,
 [[nodiscard]] std::vector<TraceEvent> thread_flight_record();
 
 /// Overrides the crash-dump file path (tests). Empty restores the default
-/// `partree_crash_<unix_ts>.json` in the working directory.
+/// `partree_crash_<unix_ts>.json`, placed in $PARTREE_CRASH_DIR (created
+/// if missing) when that is set, else in the working directory.
 void set_crash_dump_path(std::string path);
 
 /// Serializes the calling thread's flight record plus global counters and
 /// phase times ("partree-crash-v1" JSON) to stderr and the crash-dump
-/// file. Returns the file path, or "" if the file could not be written
-/// (the stderr copy is emitted regardless). Called on the way to abort();
-/// does not itself abort.
+/// file. The file write is atomic (tmp + rename), so a crash mid-dump
+/// never leaves truncated JSON. Returns the file path, or "" if the file
+/// could not be written (the stderr copy is emitted regardless). Called
+/// on the way to abort(); does not itself abort.
 std::string write_crash_dump(std::string_view reason);
 
 namespace detail {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace partree::obs {
 namespace {
@@ -146,6 +149,84 @@ TEST(BenchSchemaTest, SubNoiseFloorSuitesAreSkipped) {
   current.suites.back().finalize_stats();
   // A 50x blowup on a microsecond-scale suite is timer noise, not signal.
   EXPECT_TRUE(compare_reports(baseline, current).empty());
+}
+
+TEST(BenchSchemaTest, DiffSuiteNamesFindsAddedAndRemoved) {
+  const BenchReport baseline = sample_report();
+  BenchReport current = baseline;
+  current.suites.pop_back();  // drops trace_overhead_greedy_sweep
+  BenchSuite fresh;
+  fresh.name = "brand_new_suite";
+  fresh.wall_ms = {1.0};
+  fresh.finalize_stats();
+  current.suites.push_back(fresh);
+
+  const SuiteDiff diff = diff_suite_names(baseline, current);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], "trace_overhead_greedy_sweep");
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], "brand_new_suite");
+
+  // The removed suite is a regression; the added one is not (nothing to
+  // regress against), but it must surface in the diff, never silently.
+  const auto regressions = compare_reports(baseline, current);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].suite, "trace_overhead_greedy_sweep");
+
+  const SuiteDiff none = diff_suite_names(baseline, baseline);
+  EXPECT_TRUE(none.removed.empty());
+  EXPECT_TRUE(none.added.empty());
+
+  // Symmetric direction: comparing swapped reports flips the sets.
+  const SuiteDiff swapped = diff_suite_names(current, baseline);
+  EXPECT_EQ(swapped.removed, (std::vector<std::string>{"brand_new_suite"}));
+  EXPECT_EQ(swapped.added,
+            (std::vector<std::string>{"trace_overhead_greedy_sweep"}));
+}
+
+// A baseline damaged into carrying the STRING "NaN" for a time field (the
+// strict JSON parser cannot produce a NaN number) must fail with an error
+// naming the suite and the field.
+TEST(BenchSchemaTest, StringTimeFieldIsRejectedWithContext) {
+  util::json::Value v = to_json(sample_report());
+  v.as_object()["suites"].as_array()[0].as_object()["median_ms"] =
+      util::json::Value("NaN");
+  try {
+    (void)report_from_json(v);
+    FAIL() << "expected report_from_json to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alloc_micro_ops"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("median_ms"), std::string::npos) << msg;
+  }
+}
+
+// In-memory reports can carry an actual NaN double; serialization-free
+// consumers hit the finiteness check instead.
+TEST(BenchSchemaTest, NonFiniteWallEntryIsRejected) {
+  util::json::Value v = to_json(sample_report());
+  v.as_object()["suites"]
+      .as_array()[1]
+      .as_object()["wall_ms"]
+      .as_array()[0] =
+      util::json::Value(std::numeric_limits<double>::quiet_NaN());
+  try {
+    (void)report_from_json(v);
+    FAIL() << "expected report_from_json to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("greedy_sweep_e2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wall_ms"), std::string::npos) << msg;
+  }
+}
+
+// A baseline whose time field holds a malformed number token fails at the
+// parser with a position-bearing error -- it must never reach comparison.
+TEST(BenchSchemaTest, MalformedNumberInBaselineFailsParse) {
+  EXPECT_THROW((void)util::json::parse(R"({"median_ms": 12..5})"),
+               std::runtime_error);
+  EXPECT_THROW((void)util::json::parse(R"({"median_ms": 1e999})"),
+               std::runtime_error);
 }
 
 TEST(BenchSchemaTest, UnknownSchemaIsRejected) {

@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/event_source.hpp"
 #include "core/factory.hpp"
@@ -47,7 +50,9 @@ class CorruptingSource final : public core::EventSource {
 
 constexpr std::uint64_t kArrivalCount = kFlightRecorderEvents + 72;
 
-void run_until_crash(const std::string& dump_path) {
+// Empty dump_path exercises the default path selection (PARTREE_CRASH_DIR
+// or the working directory).
+void run_until_crash(const std::string& dump_path = "") {
   set_crash_dump_path(dump_path);
   const tree::Topology topo(8);
   sim::EngineOptions options;
@@ -105,6 +110,53 @@ TEST(FlightRecorderDeathTest, CrashDumpHoldsLastKEventsInOrder) {
   // Counters and phase times rode along.
   EXPECT_GE(dump.at("counters").at("arrivals").as_u64(), kArrivalCount);
   EXPECT_NE(dump.at("phase_times").find("place"), nullptr);
+}
+
+// Default-path behavior: with no set_crash_dump_path override, the dump
+// lands in $PARTREE_CRASH_DIR (created on demand) as
+// partree_crash_<ts>.json -- not in whatever directory the process happens
+// to be running in -- and the atomic tmp + rename write leaves no .tmp
+// residue next to it.
+TEST(FlightRecorderDeathTest, DefaultDumpHonorsCrashDirEnv) {
+  const std::string dir =
+      ::testing::TempDir() + "flight_recorder_test.crash_dir";
+  std::filesystem::remove_all(dir);
+
+  EXPECT_DEATH(
+      {
+        ::setenv("PARTREE_CRASH_DIR", dir.c_str(), 1);
+        run_until_crash();  // no override: default path selection
+      },
+      "debug check: LoadTree max_load != max over pe_loads");
+
+  std::vector<std::filesystem::path> dumps;
+  std::vector<std::filesystem::path> residue;
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "crash dir was not created";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("partree_crash_") && name.ends_with(".json")) {
+      dumps.push_back(entry.path());
+    } else {
+      residue.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(dumps.size(), 1u) << "expected exactly one crash dump in " << dir;
+  EXPECT_TRUE(residue.empty())
+      << "unexpected file next to the dump (tmp residue?): "
+      << residue.front();
+
+  // The dump is complete, parseable JSON (the atomic write's contract).
+  std::ifstream in(dumps.front());
+  ASSERT_TRUE(in);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::json::Value dump = util::json::parse(buf.str());
+  EXPECT_EQ(dump.at("schema").as_string(), "partree-crash-v1");
+  EXPECT_EQ(dump.at("flight_record").as_array().size(),
+            kFlightRecorderEvents);
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FlightRecorderTest, ThreadFlightRecordIsBoundedAndOrdered) {

@@ -101,5 +101,49 @@ TEST(CsvTest, ReadCsvLinesCountsSkippedBlankLines) {
   EXPECT_EQ(rows[1].line, 4u);
 }
 
+// Durability edges: files that survived a crash, an scp from Windows, or a
+// truncating editor must still parse the same.
+
+// CRLF line endings outside quotes: the \r belongs to the terminator, not
+// the last field.
+TEST(CsvTest, ReadCsvToleratesCrlfLineEndings) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+// A \r INSIDE a quoted field is data, not a terminator, and must survive
+// even when the line itself also ends in CRLF.
+TEST(CsvTest, ParsePreservesCarriageReturnInsideQuotes) {
+  const auto fields = parse_csv_line("\"a\rb\",c\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a\rb");
+  EXPECT_EQ(fields[1], "c");
+}
+
+// A final line with no trailing newline (classic crash/truncation shape)
+// still yields its row.
+TEST(CsvTest, ReadCsvHandlesMissingFinalNewline) {
+  std::istringstream in("a,b\nc,d");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+// Writer quotes \r-bearing fields, so a write -> read round-trip through
+// the real reader preserves the byte.
+TEST(CsvTest, CarriageReturnRoundTripsThroughWriterAndReader) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> original{"a\rb", "plain", "c\rd"};
+  writer.row(original);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
 }  // namespace
 }  // namespace partree::util

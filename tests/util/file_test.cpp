@@ -1,0 +1,67 @@
+#include "util/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace partree::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "file_test." + name;
+}
+
+TEST(FileTest, AtomicWriteThenReadRoundTrips) {
+  const std::string path = temp_path("roundtrip.txt");
+  std::remove(path.c_str());
+
+  // Embedded NUL: the helpers are byte-transparent, not text-mode.
+  const std::string payload("line one\nline two\nbinary \0 byte", 31);
+  ASSERT_TRUE(write_file_atomic(path, payload));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, AtomicWriteReplacesExistingContents) {
+  const std::string path = temp_path("replace.txt");
+  ASSERT_TRUE(write_file_atomic(path, "old old old old old"));
+  ASSERT_TRUE(write_file_atomic(path, "new"));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "new");  // fully replaced, not a partial overwrite
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, AtomicWriteLeavesNoTmpResidue) {
+  const std::string path = temp_path("residue.txt");
+  ASSERT_TRUE(write_file_atomic(path, "x"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, AtomicWriteToMissingDirectoryFailsCleanly) {
+  const std::string path =
+      temp_path("no_such_dir") + "/nested/deeper/out.txt";
+  EXPECT_FALSE(write_file_atomic(path, "x"));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FileTest, ReadMissingFileIsNullopt) {
+  EXPECT_FALSE(read_file(temp_path("does_not_exist.txt")).has_value());
+}
+
+TEST(FileTest, EmptyContentsAreWritable) {
+  const std::string path = temp_path("empty.txt");
+  ASSERT_TRUE(write_file_atomic(path, ""));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace partree::util
