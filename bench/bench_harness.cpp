@@ -15,6 +15,10 @@
 //   bench_harness --timing             # also print the phase breakdown
 //   bench_harness --trace out.json     # ONE traced E2 greedy sweep ->
 //                                      # Chrome trace JSON; no bench report
+//   bench_harness --metrics m.json     # arm duration metrics for the run
+//                                      # and write the final
+//                                      # partree-metrics-v1 snapshot
+//                                      # (composes with --trace)
 #include "bench_common.hpp"
 
 #include <algorithm>
@@ -26,6 +30,7 @@
 #include "core/factory.hpp"
 #include "obs/bench_schema.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +38,7 @@
 #include "sim/sweep.hpp"
 #include "sim/trials.hpp"
 #include "util/digest.hpp"
+#include "util/file.hpp"
 #include "tree/load_tree.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -317,6 +323,81 @@ obs::BenchSuite trace_overhead_suite(const HarnessConfig& config) {
   return suite;
 }
 
+// Suite 8: what the metrics registry costs on its DEFAULT path -- master
+// switch on, duration timers off, so every record is a branch plus a few
+// thread-local relaxed stores and the clock is never read. The recorded
+// wall times are those default runs (bench_diff gates them like any
+// suite); metrics_overhead_pct is the acceptance metric (< 1%): the
+// median of per-pair ratios against truly-bare runs with the master
+// switch off, interleaved like trace_overhead_suite so machine drift
+// cancels. The cost of ARMING duration timers (two clock reads per timed
+// scope) is printed for reference but not gated.
+obs::BenchSuite metrics_overhead_suite(const HarnessConfig& config) {
+  const bool durations_were = obs::duration_metrics_enabled();
+  auto timed_one = [&](bool master, bool durations) {
+    obs::set_metrics_enabled(master);
+    obs::set_duration_metrics_enabled(durations);
+    util::Timer timer;
+    greedy_sweep_body(config);
+    obs::set_metrics_enabled(true);
+    obs::set_duration_metrics_enabled(durations_were);
+    return timer.millis();
+  };
+
+  for (std::uint64_t i = 0; i < config.warmup + 1; ++i) {
+    greedy_sweep_body(config);
+  }
+
+  obs::BenchSuite bare;
+  obs::BenchSuite suite;
+  suite.name = "metrics_overhead_greedy_sweep";
+  suite.n = config.smoke ? 128 : 1024;
+  const std::uint64_t pairs =
+      config.smoke ? config.reps : std::max<std::uint64_t>(config.reps, 15);
+  suite.reps = pairs;
+  const obs::Counters before = obs::global_counters();
+  std::vector<double> pair_ratio;
+  for (std::uint64_t rep = 0; rep < pairs; ++rep) {
+    double bare_ms;
+    double default_ms;
+    if (rep % 2 == 0) {
+      bare_ms = timed_one(false, false);
+      default_ms = timed_one(true, false);
+    } else {
+      default_ms = timed_one(true, false);
+      bare_ms = timed_one(false, false);
+    }
+    bare.wall_ms.push_back(bare_ms);
+    suite.wall_ms.push_back(default_ms);
+    if (bare_ms > 0.0) pair_ratio.push_back(default_ms / bare_ms);
+  }
+  suite.counters = obs::global_counters().delta_since(before);
+  bare.finalize_stats();
+  suite.finalize_stats();
+  std::sort(pair_ratio.begin(), pair_ratio.end());
+  suite.metrics_overhead_pct =
+      pair_ratio.empty()
+          ? 0.0
+          : (pair_ratio[pair_ratio.size() / 2] - 1.0) * 100.0;
+
+  obs::BenchSuite armed;
+  for (std::uint64_t rep = 0; rep < config.reps; ++rep) {
+    armed.wall_ms.push_back(timed_one(true, true));
+  }
+  armed.finalize_stats();
+  const double armed_pct =
+      suite.median_ms <= 0.0
+          ? 0.0
+          : (armed.median_ms - suite.median_ms) / suite.median_ms * 100.0;
+
+  std::printf(
+      "  %-28s n=%-6llu median %10.3f ms   overhead %+6.2f%% vs bare "
+      "(durations armed: %+6.2f%%)\n",
+      suite.name.c_str(), static_cast<unsigned long long>(suite.n),
+      suite.median_ms, suite.metrics_overhead_pct, armed_pct);
+  return suite;
+}
+
 // --sweep: run a checkpointed grid (preset e3/e7 or a full spec) under the
 // crash-safe sweep runner and exit -- the resumable way to run the
 // experiment suites when a box may die mid-campaign. Exits the normal
@@ -364,6 +445,28 @@ int run_traced_sweep(const HarnessConfig& config, const std::string& path) {
   return 0;
 }
 
+// Disarm the duration timers, snapshot the metrics registry, and write
+// the canonical partree-metrics-v1 document atomically. Shared by the
+// measuring path and --trace, both of which honor --metrics.
+int write_metrics_snapshot(const std::string& path) {
+  obs::set_duration_metrics_enabled(false);
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  const std::string doc = obs::metrics_to_json(snap).dump();
+  if (!util::write_file_atomic(path, doc + "\n")) {
+    std::fprintf(stderr, "bench_harness: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf(
+      "wrote %s (%llu arrivals timed, %llu pool regions; validate / "
+      "analyze with trace_stats --metrics)\n",
+      path.c_str(),
+      static_cast<unsigned long long>(
+          snap.duration(obs::DurationMetric::kArrivalHandleNs).count),
+      static_cast<unsigned long long>(
+          snap.value(obs::ValueMetric::kPoolRegionItems).count));
+  return 0;
+}
+
 std::string today_iso() {
   const std::time_t now = std::time(nullptr);
   std::tm tm_buf{};
@@ -403,6 +506,10 @@ int main(int argc, char** argv) {
              "write a Chrome trace of one traced E2 greedy sweep here and "
              "exit (no bench report)",
              "");
+  cli.option("metrics",
+             "arm duration metrics for the bench run and write the final "
+             "partree-metrics-v1 snapshot here",
+             "");
   cli.option("n-threads",
              "worker threads for the parallel suites (0 = suite default)",
              "0");
@@ -432,8 +539,17 @@ int main(int argc, char** argv) {
                                  cli.get_flag("sweep-resume"));
   }
 
+  const std::string metrics_path = cli.get("metrics");
+
   if (const std::string trace_path = cli.get("trace"); !trace_path.empty()) {
-    return bench::run_traced_sweep(config, trace_path);
+    obs::reset_metrics();
+    // Duration histograms stay empty unless the timers are armed;
+    // --metrics asks for a populated snapshot, so arm them for the
+    // traced sweep too.
+    if (!metrics_path.empty()) obs::set_duration_metrics_enabled(true);
+    const int rc = bench::run_traced_sweep(config, trace_path);
+    if (rc != 0 || metrics_path.empty()) return rc;
+    return bench::write_metrics_snapshot(metrics_path);
   }
 
   if (cli.get_flag("timing")) obs::set_timing_enabled(true);
@@ -451,6 +567,10 @@ int main(int argc, char** argv) {
 
   obs::reset_counters();
   obs::reset_phase_times();
+  obs::reset_metrics();
+  // Duration histograms stay empty unless the timers are armed; --metrics
+  // asks for a populated snapshot, so arm them for the whole run.
+  if (!metrics_path.empty()) obs::set_duration_metrics_enabled(true);
 
   report.suites.push_back(bench::run_suite(
       "alloc_micro_ops", config.smoke ? 256 : 1024, config,
@@ -469,6 +589,7 @@ int main(int argc, char** argv) {
       [&] { bench::trial_batch_body(config); }));
   report.suites.push_back(bench::counter_overhead_suite(config));
   report.suites.push_back(bench::trace_overhead_suite(config));
+  report.suites.push_back(bench::metrics_overhead_suite(config));
 
   if (cli.get_flag("timing")) {
     const obs::PhaseTimes phases = obs::global_phase_times();
@@ -495,5 +616,11 @@ int main(int argc, char** argv) {
               report.git_sha.c_str(),
               static_cast<unsigned long long>(report.n_threads),
               report.smoke ? ", SMOKE" : "");
+
+  if (!metrics_path.empty()) {
+    if (const int rc = bench::write_metrics_snapshot(metrics_path); rc != 0) {
+      return rc;
+    }
+  }
   return 0;
 }

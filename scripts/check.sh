@@ -46,9 +46,17 @@ fi
 
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
 
+# tier1 already ran these; --no-tests=error turns "the metrics tests were
+# filtered out / failed to register" into a hard failure, not a skip.
+ctest --test-dir "$BUILD" -R 'Metrics' --no-tests=error \
+  --output-on-failure -j "$(nproc)"
+
 SMOKE="$BUILD/BENCH_smoke.json"
-"$BUILD/bench/bench_harness" --smoke --out "$SMOKE"
+METRICS="$BUILD/metrics-smoke.json"
+"$BUILD/bench/bench_harness" --smoke --out "$SMOKE" --metrics "$METRICS"
 # Self-comparison must always pass: identical medians, ratio 1.0.
 "$BUILD/bench/bench_diff" --baseline "$SMOKE" --current "$SMOKE"
+# The armed run's snapshot must be a valid partree-metrics-v1 document.
+"$BUILD/examples/trace_stats" --metrics "$METRICS"
 
-echo "check.sh: OK (ASan/UBSan tier1 + bench harness smoke)"
+echo "check.sh: OK (ASan/UBSan tier1 + bench harness + metrics smoke)"

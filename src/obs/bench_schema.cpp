@@ -100,6 +100,9 @@ util::json::Value to_json(const BenchReport& report) {
     if (suite.trace_overhead_pct >= 0.0) {
       s.emplace("trace_overhead_pct", suite.trace_overhead_pct);
     }
+    if (suite.metrics_overhead_pct >= 0.0) {
+      s.emplace("metrics_overhead_pct", suite.metrics_overhead_pct);
+    }
     suites.emplace_back(std::move(s));
   }
 
@@ -155,6 +158,9 @@ BenchReport report_from_json(const util::json::Value& v) {
     }
     if (const util::json::Value* o = s.find("trace_overhead_pct")) {
       suite.trace_overhead_pct = o->as_double();
+    }
+    if (const util::json::Value* o = s.find("metrics_overhead_pct")) {
+      suite.metrics_overhead_pct = o->as_double();
     }
     report.suites.push_back(std::move(suite));
   }

@@ -15,7 +15,8 @@
 //                   "mean_ms": a, "min_ms": lo,
 //                   "counters": { "events_processed": ..., ... },
 //                   "counter_overhead_pct": x,  // only the overhead suites
-//                   "trace_overhead_pct": y
+//                   "trace_overhead_pct": y,
+//                   "metrics_overhead_pct": z
 //                 }, ... ] }
 #pragma once
 
@@ -46,6 +47,11 @@ struct BenchSuite {
   /// recorder switched off. < 0 when the suite did not measure it. The
   /// recorded wall times of the measuring suite are the default runs.
   double trace_overhead_pct = -1.0;
+  /// What the metrics registry costs on its DEFAULT path (master switch
+  /// on, duration timers off), percent, vs bare runs with the master
+  /// switch off. < 0 when the suite did not measure it. The recorded wall
+  /// times of the measuring suite are the default runs.
+  double metrics_overhead_pct = -1.0;
 
   /// Fills median/p90/mean/min from wall_ms.
   void finalize_stats();

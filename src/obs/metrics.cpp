@@ -1,0 +1,413 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <limits>
+
+#include "obs/shard_registry.hpp"
+
+namespace partree::obs {
+namespace {
+
+constexpr std::uint64_t kNoMin = std::numeric_limits<std::uint64_t>::max();
+
+std::atomic<bool> g_metrics_enabled{true};
+std::atomic<bool> g_duration_metrics_enabled{false};
+
+// Every cell is written by exactly one thread (its shard owner), so
+// updates are relaxed load+store pairs -- no lock-prefixed RMW on the hot
+// path -- while concurrent snapshot reads from another thread stay
+// race-free (TSan-clean), unlike the plain-integer counter shards.
+void add_relaxed(std::atomic<std::uint64_t>& cell, std::uint64_t n) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+void max_relaxed(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  if (v > cell.load(std::memory_order_relaxed)) {
+    cell.store(v, std::memory_order_relaxed);
+  }
+}
+
+void min_relaxed(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  if (v < cell.load(std::memory_order_relaxed)) {
+    cell.store(v, std::memory_order_relaxed);
+  }
+}
+
+struct AtomicHistogram {
+  std::array<std::atomic<std::uint64_t>, kLog2Buckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{kNoMin};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t v) noexcept {
+    const std::size_t b =
+        v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+    add_relaxed(buckets[b], 1);
+    add_relaxed(count, 1);
+    add_relaxed(sum, v);
+    min_relaxed(min, v);
+    max_relaxed(max, v);
+  }
+
+  void copy_from(const AtomicHistogram& o) noexcept {
+    for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+      buckets[b].store(o.buckets[b].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    count.store(o.count.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    sum.store(o.sum.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    min.store(o.min.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    max.store(o.max.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  }
+
+  void merge_from(const AtomicHistogram& o) noexcept {
+    for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+      add_relaxed(buckets[b], o.buckets[b].load(std::memory_order_relaxed));
+    }
+    add_relaxed(count, o.count.load(std::memory_order_relaxed));
+    add_relaxed(sum, o.sum.load(std::memory_order_relaxed));
+    min_relaxed(min, o.min.load(std::memory_order_relaxed));
+    max_relaxed(max, o.max.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] MetricHistogram snapshot() const {
+    MetricHistogram out;
+    for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+      out.buckets[b] = buckets[b].load(std::memory_order_relaxed);
+    }
+    out.count = count.load(std::memory_order_relaxed);
+    out.sum = sum.load(std::memory_order_relaxed);
+    const std::uint64_t lo = min.load(std::memory_order_relaxed);
+    out.min = out.count == 0 || lo == kNoMin ? 0 : lo;
+    out.max = max.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+/// The per-thread shard; satisfies ShardRegistry's contract (zero default,
+/// merge, copy assignment) with explicitly-relaxed copies since atomics
+/// are not copyable by default.
+struct MetricsShard {
+  std::array<AtomicHistogram, kNumDurationMetrics> durations{};
+  std::array<AtomicHistogram, kNumValueMetrics> values{};
+  std::array<std::atomic<std::uint64_t>, kNumGaugeMetrics> gauges{};
+
+  MetricsShard() = default;
+  MetricsShard(const MetricsShard& o) { *this = o; }
+  MetricsShard& operator=(const MetricsShard& o) {
+    if (this == &o) return *this;
+    for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+      durations[i].copy_from(o.durations[i]);
+    }
+    for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+      values[i].copy_from(o.values[i]);
+    }
+    for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+      gauges[i].store(o.gauges[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  void merge(const MetricsShard& o) noexcept {
+    for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+      durations[i].merge_from(o.durations[i]);
+    }
+    for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+      values[i].merge_from(o.values[i]);
+    }
+    for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+      max_relaxed(gauges[i], o.gauges[i].load(std::memory_order_relaxed));
+    }
+  }
+};
+
+// Leaked on purpose (same reasoning as counters.cpp): pool workers may
+// retire their shards after static destruction begins.
+detail::ShardRegistry<MetricsShard>& registry() {
+  static auto* r = new detail::ShardRegistry<MetricsShard>();
+  return *r;
+}
+
+struct MetricHelp {
+  std::string_view name;
+  std::string_view help;
+};
+
+constexpr MetricHelp kDurationHelp[kNumDurationMetrics] = {
+    {"arrival_handle_ns", "One arrival fully handled by the engine, ns."},
+    {"departure_handle_ns", "One departure fully handled by the engine, ns."},
+    {"realloc_round_ns", "One applied reallocation round, ns."},
+    {"pool_dispatch_wait_ns",
+     "Caller wait for the worker pool to go idle before dispatch, ns."},
+    {"pool_region_ns", "One whole parallel region on the calling thread, ns."},
+    {"pool_worker_busy_ns", "One worker's participation in one region, ns."},
+    {"pool_worker_idle_ns",
+     "One worker's parked gap between consecutive regions, ns."},
+    {"sweep_shard_ns", "One sweep shard (all its cells), ns."},
+};
+
+constexpr MetricHelp kValueHelp[kNumValueMetrics] = {
+    {"migration_batch_size",
+     "Physical task moves per applied reallocation round."},
+    {"pool_region_items", "Items per dispatched parallel region."},
+    {"pool_chunk_items", "Items per chunk claimed off the ticket counter."},
+    {"sweep_shard_cells", "Cells per executed sweep shard."},
+};
+
+constexpr MetricHelp kGaugeHelp[kNumGaugeMetrics] = {
+    {"pool_queue_depth_hwm", "Most items queued at any region dispatch."},
+    {"pool_workers_hwm", "Most workers participating in any region."},
+};
+
+util::json::Value histogram_to_json(const MetricHistogram& h) {
+  util::json::Object obj;
+  obj.emplace("count", h.count);
+  obj.emplace("sum", h.sum);
+  obj.emplace("min", h.min);
+  obj.emplace("max", h.max);
+  obj.emplace("mean", h.mean());
+  obj.emplace("p50", h.quantile(0.5));
+  obj.emplace("p90", h.quantile(0.9));
+  obj.emplace("p99", h.quantile(0.99));
+  util::json::Array buckets;
+  for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    util::json::Array pair;
+    pair.emplace_back(static_cast<std::uint64_t>(b));
+    pair.emplace_back(h.buckets[b]);
+    buckets.emplace_back(std::move(pair));
+  }
+  obj.emplace("buckets", std::move(buckets));
+  return util::json::Value(std::move(obj));
+}
+
+void prometheus_histogram(std::string& out, const MetricHelp& meta,
+                          const MetricHistogram& h) {
+  const std::string family = "partree_" + std::string(meta.name);
+  out += "# HELP " + family + " " + std::string(meta.help) + "\n";
+  out += "# TYPE " + family + " histogram\n";
+  std::size_t top = 0;
+  for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+    if (h.buckets[b] != 0) top = b;
+  }
+  std::uint64_t cumulative = 0;
+  if (h.count != 0) {
+    for (std::size_t b = 0; b <= top; ++b) {
+      cumulative += h.buckets[b];
+      out += family + "_bucket{le=\"" +
+             std::to_string(log2_bucket_upper(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+  }
+  out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  out += family + "_sum " + std::to_string(h.sum) + "\n";
+  out += family + "_count " + std::to_string(h.count) + "\n";
+}
+
+/// Shared histogram checks for validate_metrics_json; "" when valid.
+std::string check_histogram_json(const util::json::Value& section,
+                                 std::string_view name) {
+  const util::json::Value* entry = section.find(name);
+  if (entry == nullptr) {
+    return "metrics json: missing histogram '" + std::string(name) + "'";
+  }
+  const std::uint64_t count = entry->at("count").as_u64();
+  const std::uint64_t min = entry->at("min").as_u64();
+  const std::uint64_t max = entry->at("max").as_u64();
+  for (const std::string_view q : {"sum", "p50", "p90", "p99"}) {
+    (void)entry->at(q).as_u64();
+  }
+  if (min > max) {
+    return "metrics json: histogram '" + std::string(name) + "' has min > max";
+  }
+  std::uint64_t bucket_total = 0;
+  for (const util::json::Value& pair : entry->at("buckets").as_array()) {
+    const util::json::Array& arr = pair.as_array();
+    if (arr.size() != 2) {
+      return "metrics json: histogram '" + std::string(name) +
+             "' has a malformed bucket pair";
+    }
+    if (arr[0].as_u64() >= kLog2Buckets) {
+      return "metrics json: histogram '" + std::string(name) +
+             "' has a bucket index out of range";
+    }
+    bucket_total += arr[1].as_u64();
+  }
+  if (bucket_total != count) {
+    return "metrics json: histogram '" + std::string(name) +
+           "' bucket counts do not sum to count";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string_view duration_metric_name(DurationMetric m) noexcept {
+  const auto i = static_cast<std::size_t>(m);
+  return i < kNumDurationMetrics ? kDurationHelp[i].name : "unknown";
+}
+
+std::string_view value_metric_name(ValueMetric m) noexcept {
+  const auto i = static_cast<std::size_t>(m);
+  return i < kNumValueMetrics ? kValueHelp[i].name : "unknown";
+}
+
+std::string_view gauge_metric_name(GaugeMetric m) noexcept {
+  const auto i = static_cast<std::size_t>(m);
+  return i < kNumGaugeMetrics ? kGaugeHelp[i].name : "unknown";
+}
+
+std::uint64_t MetricHistogram::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  // The extremes are tracked exactly; bucket upper bounds would only
+  // blur them (and q = 0 must never report an empty leading bucket).
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double scaled = q * static_cast<double>(count) + 0.5;
+  // Clamped to >= 1 so q = 0 walks to the first POPULATED bucket instead
+  // of matching an empty bucket 0 at cumulative 0.
+  const std::uint64_t target = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(scaled), 1, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kLog2Buckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      return std::clamp(log2_bucket_upper(b), min, max);
+    }
+  }
+  return max;
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_duration_metrics_enabled(bool enabled) noexcept {
+  g_duration_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool duration_metrics_enabled() noexcept {
+  return g_duration_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void record_duration(DurationMetric m, std::uint64_t ns) noexcept {
+  if (!metrics_enabled()) return;
+  registry().local().durations[static_cast<std::size_t>(m)].record(ns);
+}
+
+void record_value(ValueMetric m, std::uint64_t value) noexcept {
+  if (!metrics_enabled()) return;
+  registry().local().values[static_cast<std::size_t>(m)].record(value);
+}
+
+void gauge_max(GaugeMetric m, std::uint64_t value) noexcept {
+  if (!metrics_enabled()) return;
+  max_relaxed(registry().local().gauges[static_cast<std::size_t>(m)], value);
+}
+
+MetricsSnapshot snapshot_metrics() {
+  const MetricsShard merged = registry().aggregate();
+  MetricsSnapshot out;
+  for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+    out.durations[i] = merged.durations[i].snapshot();
+  }
+  for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+    out.values[i] = merged.values[i].snapshot();
+  }
+  for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+    out.gauges[i] = merged.gauges[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset_metrics() { registry().reset(); }
+
+util::json::Value metrics_to_json(const MetricsSnapshot& snap) {
+  util::json::Object durations;
+  for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+    durations.emplace(std::string(kDurationHelp[i].name),
+                      histogram_to_json(snap.durations[i]));
+  }
+  util::json::Object values;
+  for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+    values.emplace(std::string(kValueHelp[i].name),
+                   histogram_to_json(snap.values[i]));
+  }
+  util::json::Object gauges;
+  for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+    gauges.emplace(std::string(kGaugeHelp[i].name), snap.gauges[i]);
+  }
+  util::json::Object root;
+  root.emplace("schema", "partree-metrics-v1");
+  root.emplace("durations", std::move(durations));
+  root.emplace("values", std::move(values));
+  root.emplace("gauges", std::move(gauges));
+  return util::json::Value(std::move(root));
+}
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+    prometheus_histogram(out, kDurationHelp[i], snap.durations[i]);
+  }
+  for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+    prometheus_histogram(out, kValueHelp[i], snap.values[i]);
+  }
+  for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+    const std::string family = "partree_" + std::string(kGaugeHelp[i].name);
+    out += "# HELP " + family + " " + std::string(kGaugeHelp[i].help) + "\n";
+    out += "# TYPE " + family + " gauge\n";
+    out += family + " " + std::to_string(snap.gauges[i]) + "\n";
+  }
+  return out;
+}
+
+std::string validate_metrics_json(const util::json::Value& v) {
+  try {
+    const std::string& schema = v.at("schema").as_string();
+    if (schema != "partree-metrics-v1") {
+      return "metrics json: unknown schema '" + schema + "'";
+    }
+    const util::json::Value& durations = v.at("durations");
+    for (std::size_t i = 0; i < kNumDurationMetrics; ++i) {
+      if (std::string err = check_histogram_json(durations,
+                                                 kDurationHelp[i].name);
+          !err.empty()) {
+        return err;
+      }
+    }
+    const util::json::Value& values = v.at("values");
+    for (std::size_t i = 0; i < kNumValueMetrics; ++i) {
+      if (std::string err = check_histogram_json(values, kValueHelp[i].name);
+          !err.empty()) {
+        return err;
+      }
+    }
+    const util::json::Value& gauges = v.at("gauges");
+    for (std::size_t i = 0; i < kNumGaugeMetrics; ++i) {
+      if (gauges.find(kGaugeHelp[i].name) == nullptr) {
+        return "metrics json: missing gauge '" +
+               std::string(kGaugeHelp[i].name) + "'";
+      }
+      (void)gauges.at(kGaugeHelp[i].name).as_u64();
+    }
+  } catch (const std::exception& e) {
+    return std::string("metrics json: ") + e.what();
+  }
+  return "";
+}
+
+}  // namespace partree::obs

@@ -1,0 +1,223 @@
+// Run metrics: distribution-level observability for the hot layers.
+//
+// Counters (counters.hpp) answer "how many"; this registry answers "how
+// bad does it get". Instrumented code records into log2-bucketed
+// histograms (durations and sizes), plus process-wide high-watermark
+// gauges, all sharded per thread on the shard_registry.hpp pattern so the
+// hot paths never synchronise. Unlike the counter shards, every cell here
+// is a relaxed atomic written by exactly one thread, so a snapshot taken
+// WHILE pool workers are recording is race-free (merely fuzzy) -- the
+// crash-dump path reads the registry from an aborting thread without
+// waiting for quiescence.
+//
+// Two switches, mirroring the counters/timing split:
+//
+//   * `set_metrics_enabled` (default ON) gates everything: value
+//     histograms, gauges, and pre-measured duration records. The enabled
+//     cost per record is a branch plus a handful of thread-local relaxed
+//     stores -- counter-bump territory; the bench harness gates it below
+//     1% on the E2 greedy sweep (metrics_overhead_pct).
+//   * `set_duration_metrics_enabled` (default OFF) additionally lets
+//     `MetricTimer` read the monotonic clock, populating the duration
+//     histograms. Two clock reads per instrumented scope are measurable
+//     on small events, so -- like phase timing -- it is opt-in
+//     (`bench_harness --metrics`).
+//
+// Snapshots aggregate retired + live shards into plain structs, exported
+// two ways: a canonical "partree-metrics-v1" JSON document and a
+// Prometheus text exposition (`partree_*` families). The crash-dump path
+// (obs/trace.hpp write_crash_dump) embeds the JSON document so
+// invariant-failure forensics include the distributions leading up to the
+// crash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/timing.hpp"
+#include "util/json.hpp"
+
+namespace partree::obs {
+
+/// Duration histograms (nanoseconds). Populated by MetricTimer scopes
+/// while duration metrics are enabled, or directly via record_duration
+/// when the caller already holds a measurement (e.g. a sweep shard's
+/// wall time, measured anyway for the checkpoint).
+enum class DurationMetric : std::size_t {
+  /// Engine: one arrival fully handled (placement + any reallocation +
+  /// slowdown bookkeeping).
+  kArrivalHandleNs = 0,
+  /// Engine: one departure fully handled.
+  kDepartureHandleNs,
+  /// Engine: one APPLIED reallocation round (decision + migration).
+  kReallocRoundNs,
+  /// Pool: a caller's wait for the pool to go idle before its region
+  /// dispatches (region-level queueing delay).
+  kPoolDispatchWaitNs,
+  /// Pool: one whole region, timed on the calling thread (includes the
+  /// dispatch wait).
+  kPoolRegionNs,
+  /// Pool: one worker's participation in one region, timed on the worker.
+  kPoolWorkerBusyNs,
+  /// Pool: one worker's parked gap between consecutive regions it ran.
+  kPoolWorkerIdleNs,
+  /// Sweep: one run_shard call (all cells of the shard).
+  kSweepShardNs,
+  kCount,
+};
+
+/// Size/count histograms (dimensionless). Always recorded while metrics
+/// are enabled -- no clock involved.
+enum class ValueMetric : std::size_t {
+  /// Engine: physical task moves (from != to) per applied reallocation.
+  kMigrationBatchSize = 0,
+  /// Pool: items per dispatched region.
+  kPoolRegionItems,
+  /// Pool: items per chunk a worker claimed off the ticket counter.
+  kPoolChunkItems,
+  /// Sweep: cells per executed shard.
+  kSweepShardCells,
+  kCount,
+};
+
+/// High-watermark gauges: merged by max, reported as one value.
+enum class GaugeMetric : std::size_t {
+  /// Pool: most items queued at any region dispatch.
+  kPoolQueueDepthHwm = 0,
+  /// Pool: most workers participating in any region.
+  kPoolWorkersHwm,
+  kCount,
+};
+
+inline constexpr std::size_t kNumDurationMetrics =
+    static_cast<std::size_t>(DurationMetric::kCount);
+inline constexpr std::size_t kNumValueMetrics =
+    static_cast<std::size_t>(ValueMetric::kCount);
+inline constexpr std::size_t kNumGaugeMetrics =
+    static_cast<std::size_t>(GaugeMetric::kCount);
+
+/// Stable snake_case names used in the JSON document; the Prometheus
+/// exposition prefixes them with "partree_".
+[[nodiscard]] std::string_view duration_metric_name(DurationMetric m) noexcept;
+[[nodiscard]] std::string_view value_metric_name(ValueMetric m) noexcept;
+[[nodiscard]] std::string_view gauge_metric_name(GaugeMetric m) noexcept;
+
+/// Log2 bucket layout: bucket 0 holds the value 0; bucket b in [1, 64]
+/// holds values v with bit_width(v) == b, i.e. v in [2^(b-1), 2^b - 1].
+inline constexpr std::size_t kLog2Buckets = 65;
+
+/// Inclusive upper bound of bucket `b` (0, 1, 3, 7, ..., 2^64 - 1).
+[[nodiscard]] constexpr std::uint64_t log2_bucket_upper(
+    std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+/// Aggregated view of one histogram (plain data; no atomics).
+struct MetricHistogram {
+  std::array<std::uint64_t, kLog2Buckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< smallest recorded value; 0 when empty
+  std::uint64_t max = 0;  ///< largest recorded value; 0 when empty
+
+  /// Smallest bucket upper bound covering at least q * count
+  /// observations, clamped to [min, max] so estimates never leave the
+  /// observed range. q = 0 returns min (the smallest populated value,
+  /// never an empty leading bucket); q = 1 returns max. 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A full point-in-time aggregate of the registry.
+struct MetricsSnapshot {
+  std::array<MetricHistogram, kNumDurationMetrics> durations{};
+  std::array<MetricHistogram, kNumValueMetrics> values{};
+  std::array<std::uint64_t, kNumGaugeMetrics> gauges{};
+
+  [[nodiscard]] const MetricHistogram& duration(DurationMetric m) const {
+    return durations[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] const MetricHistogram& value(ValueMetric m) const {
+    return values[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] std::uint64_t gauge(GaugeMetric m) const {
+    return gauges[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Master switch (default ON): gates every record_* call and gauge_max.
+void set_metrics_enabled(bool enabled) noexcept;
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// Duration-timer switch (default OFF): lets MetricTimer read the clock.
+/// record_duration itself only needs the master switch -- callers that
+/// already measured (sweep shards) record for free.
+void set_duration_metrics_enabled(bool enabled) noexcept;
+[[nodiscard]] bool duration_metrics_enabled() noexcept;
+
+/// Records `ns` into a duration histogram (master switch gated).
+void record_duration(DurationMetric m, std::uint64_t ns) noexcept;
+
+/// Records `value` into a size/count histogram (master switch gated).
+void record_value(ValueMetric m, std::uint64_t value) noexcept;
+
+/// Raises a high-watermark gauge to at least `value` (master switch
+/// gated). Watermarks merge by max across shards.
+void gauge_max(GaugeMetric m, std::uint64_t value) noexcept;
+
+/// Aggregate over all shards, retired + live. Safe to call while other
+/// threads record (each cell is a single-writer relaxed atomic): the
+/// result is a consistent-enough snapshot, exact at quiescent points.
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Zeroes all shards. Quiescent points only (a concurrent writer's
+/// in-flight record may survive the reset).
+void reset_metrics();
+
+/// Canonical "partree-metrics-v1" JSON document: every histogram keyed by
+/// name with count/sum/min/max/mean and p50/p90/p99, buckets as
+/// [bucket_index, count] pairs (nonzero only), plus the gauges.
+[[nodiscard]] util::json::Value metrics_to_json(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition: one `partree_<name>` histogram family per
+/// metric (cumulative `_bucket{le="..."}` at the log2 upper bounds up to
+/// the highest populated bucket, then `+Inf`, `_sum`, `_count`) and one
+/// gauge family per watermark.
+[[nodiscard]] std::string metrics_to_prometheus(const MetricsSnapshot& snap);
+
+/// Validates a parsed partree-metrics-v1 document: schema tag, every
+/// metric present, bucket totals consistent with counts, min <= max.
+/// Returns "" when valid, else a message naming the violation.
+[[nodiscard]] std::string validate_metrics_json(const util::json::Value& v);
+
+/// RAII duration scope: free (one relaxed load) unless duration metrics
+/// are enabled, in which case it costs two clock reads plus one record.
+class MetricTimer {
+ public:
+  explicit MetricTimer(DurationMetric m) noexcept
+      : metric_(m),
+        start_ns_(duration_metrics_enabled() ? detail::monotonic_ns() : 0) {}
+
+  ~MetricTimer() {
+    if (start_ns_ != 0) {
+      record_duration(metric_, detail::monotonic_ns() - start_ns_);
+    }
+  }
+
+  MetricTimer(const MetricTimer&) = delete;
+  MetricTimer& operator=(const MetricTimer&) = delete;
+
+ private:
+  DurationMetric metric_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace partree::obs

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "util/file.hpp"
 #include "util/json.hpp"
 
@@ -286,6 +287,12 @@ std::string write_crash_dump(std::string_view reason) {
     phases_obj.emplace(std::string(phase_name(p)), std::move(entry));
   }
   root.emplace("phase_times", std::move(phases_obj));
+
+  // The full partree-metrics-v1 document rides along so invariant-failure
+  // forensics include the latency/queue distributions leading up to the
+  // crash. Snapshotting mid-flight is safe: metrics cells are
+  // single-writer relaxed atomics.
+  root.emplace("metrics", metrics_to_json(snapshot_metrics()));
 
   const std::string dump = util::json::Value(std::move(root)).dump();
   std::fprintf(stderr, "partree crash dump:\n%s\n", dump.c_str());

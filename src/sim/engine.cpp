@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
@@ -178,6 +179,8 @@ SimResult Engine::run_interactive(core::EventSource& source,
     }
 
     if (event->kind == core::EventKind::kArrival) {
+      const obs::MetricTimer arrival_metric(
+          obs::DurationMetric::kArrivalHandleNs);
       const core::Task& task = event->task;
       if (recorded != nullptr) recorded->arrive_as(task.id, task.size);
       {
@@ -196,19 +199,34 @@ SimResult Engine::run_interactive(core::EventSource& source,
       reallocated = false;
       {
         const obs::ScopedTimer realloc_timer(obs::Phase::kReallocate);
+        // The round is only a round once maybe_reallocate says yes, so
+        // the duration metric brackets decision + application manually
+        // and records nothing for the (overwhelmingly common) no-op
+        // decisions -- kReallocRoundNs counts applied rounds only.
+        const std::uint64_t realloc_t0 = obs::duration_metrics_enabled()
+                                             ? obs::detail::monotonic_ns()
+                                             : 0;
         if (auto migrations = allocator.maybe_reallocate(state)) {
           ++result.reallocation_count;
           reallocated = true;
           obs::bump(obs::Counter::kReallocRounds);
           obs::emit_instant(obs::Instant::kReallocRound, migrations->size());
           if (options_.on_reallocation) options_.on_reallocation(*migrations);
+          std::uint64_t batch_moves = 0;
           for (const core::Migration& m : *migrations) {
             if (m.from != m.to) {
-              ++result.migration_count;
+              ++batch_moves;
               result.migrated_size += state.active_task(m.id).task.size;
             }
           }
+          result.migration_count += batch_moves;
+          obs::record_value(obs::ValueMetric::kMigrationBatchSize,
+                            batch_moves);
           state.migrate(*migrations);
+          if (realloc_t0 != 0) {
+            obs::record_duration(obs::DurationMetric::kReallocRoundNs,
+                                 obs::detail::monotonic_ns() - realloc_t0);
+          }
         }
       }
       if (slowdowns) {
@@ -223,6 +241,8 @@ SimResult Engine::run_interactive(core::EventSource& source,
       obs::bump(obs::Counter::kArrivals);
       obs::emit_instant(obs::Instant::kArrival, task.id);
     } else {
+      const obs::MetricTimer departure_metric(
+          obs::DurationMetric::kDepartureHandleNs);
       const obs::ScopedTimer departure_timer(obs::Phase::kDeparture);
       if (recorded != nullptr) recorded->depart(event->task.id);
       if (slowdowns) slowdowns->on_departure(event->task.id, state);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "sim/parallel.hpp"
 
@@ -41,6 +42,10 @@ void WorkerPool::run(std::size_t n,
   const std::size_t k = resolve_thread_count(n, n_threads);
 
   const obs::ScopedTimer region_timer(obs::Phase::kParallelRegion);
+  const obs::MetricTimer region_metric(obs::DurationMetric::kPoolRegionNs);
+  obs::record_value(obs::ValueMetric::kPoolRegionItems, n);
+  obs::gauge_max(obs::GaugeMetric::kPoolQueueDepthHwm, n);
+  obs::gauge_max(obs::GaugeMetric::kPoolWorkersHwm, k);
 
   if (k == 1 || t_in_pool_worker) {
     // Serial (and nested-region) path: inline on the calling thread, in
@@ -53,10 +58,18 @@ void WorkerPool::run(std::size_t n,
     return;
   }
 
+  const std::uint64_t dispatch_t0 =
+      obs::duration_metrics_enabled() ? obs::detail::monotonic_ns() : 0;
   std::unique_lock lock(mutex_);
   // One region at a time: a second top-level caller queues here until the
   // pool is idle again.
   cv_done_.wait(lock, [&] { return !active_ && !stop_; });
+  if (dispatch_t0 != 0) {
+    // Region-level queueing delay: how long this caller sat behind other
+    // top-level regions (plus the lock handoff) before dispatching.
+    obs::record_duration(obs::DurationMetric::kPoolDispatchWaitNs,
+                         obs::detail::monotonic_ns() - dispatch_t0);
+  }
   ensure_workers_locked(k);
 
   fn_ = &fn;
@@ -96,15 +109,25 @@ void WorkerPool::ensure_workers_locked(std::size_t k) {
 
 void WorkerPool::worker_main(std::size_t w, std::uint64_t seen_epoch) {
   t_in_pool_worker = true;
+  // Idle gap between consecutive regions this worker ran; armed only
+  // while duration metrics are on (a clock read per region dispatch).
+  std::uint64_t idle_since =
+      obs::duration_metrics_enabled() ? obs::detail::monotonic_ns() : 0;
   std::unique_lock lock(mutex_);
   for (;;) {
     cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
     if (stop_) return;
     seen_epoch = epoch_;
     if (w >= participants_) continue;  // idle for this region
+    if (idle_since != 0) {
+      obs::record_duration(obs::DurationMetric::kPoolWorkerIdleNs,
+                           obs::detail::monotonic_ns() - idle_since);
+    }
     lock.unlock();
     execute_region(w);
     lock.lock();
+    idle_since =
+        obs::duration_metrics_enabled() ? obs::detail::monotonic_ns() : 0;
     if (--running_ == 0) cv_done_.notify_all();
   }
 }
@@ -114,6 +137,7 @@ void WorkerPool::execute_region(std::size_t w) {
   // its own lifetime span per region (and its own ring), so the timeline
   // shows one track per pool thread across back-to-back regions.
   const obs::ScopedTimer worker_timer(obs::Phase::kParallelWorker);
+  const obs::MetricTimer busy_metric(obs::DurationMetric::kPoolWorkerBusyNs);
   const std::function<void(std::size_t, std::size_t)>& fn = *fn_;
   const std::size_t n = n_;
   const std::size_t chunk = chunk_;
@@ -122,6 +146,7 @@ void WorkerPool::execute_region(std::size_t w) {
         next_.fetch_add(chunk, std::memory_order_relaxed);
     if (begin >= n) break;
     const std::size_t end = begin + chunk < n ? begin + chunk : n;
+    obs::record_value(obs::ValueMetric::kPoolChunkItems, end - begin);
     for (std::size_t i = begin; i < end; ++i) {
       // Checked per item, not per chunk: once the cancel flag is visible
       // at most one in-flight item per worker still completes.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/factory.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
@@ -333,6 +334,14 @@ SweepShard run_shard(const SweepGrid& grid, std::uint64_t shard,
       n_threads);
   out.faults_injected = injected.load(std::memory_order_relaxed);
   out.wall_seconds = timer.seconds();
+  // The wall time is measured anyway for the checkpoint, so the duration
+  // histogram gets it for free -- no duration-metrics switch needed; the
+  // per-shard wall_seconds each checkpoint carries is the same number,
+  // aggregated here into the run-level distribution.
+  obs::record_duration(
+      obs::DurationMetric::kSweepShardNs,
+      static_cast<std::uint64_t>(out.wall_seconds * 1e9));
+  obs::record_value(obs::ValueMetric::kSweepShardCells, out.cells.size());
   obs::emit_instant(obs::Instant::kSweepShard, shard);
   return out;
 }

@@ -36,8 +36,12 @@ double Histogram::mean() const noexcept {
 std::uint64_t Histogram::quantile(double q) const {
   PARTREE_ASSERT(q >= 0.0 && q <= 1.0, "histogram quantile out of range");
   PARTREE_ASSERT(total_ > 0, "quantile of empty histogram");
-  const auto target = static_cast<std::uint64_t>(
+  // Clamped to [1, total]: q = 0 used to round to a target of 0, which
+  // `cumulative >= target` satisfies at bin 0 even when bin 0 is empty.
+  // A target of at least 1 walks to the smallest POPULATED value instead.
+  const auto rounded = static_cast<std::uint64_t>(
       q * static_cast<double>(total_) + 0.5);
+  const std::uint64_t target = std::clamp<std::uint64_t>(rounded, 1, total_);
   std::uint64_t cumulative = 0;
   for (std::size_t v = 0; v < bins_.size(); ++v) {
     cumulative += bins_[v];
@@ -50,10 +54,20 @@ std::string Histogram::render(std::size_t max_rows,
                               std::size_t bar_width) const {
   std::ostringstream out;
   const std::uint64_t top = max_value();
-  const std::size_t rows = std::min<std::size_t>(top + 1, max_rows);
+  // Start at the first populated bin: when all mass sits in high bins,
+  // the old bin-0 start burned every row on empty "load 0..N" bars and
+  // the populated range vanished into the "... more bins" tail. An empty
+  // histogram keeps its single zero-count "load 0" row.
+  std::size_t lo = 0;
+  if (total_ != 0) {
+    while (bins_[lo] == 0) ++lo;
+  }
+  const std::size_t span = static_cast<std::size_t>(top) + 1 - lo;
+  const std::size_t rows = std::min(span, max_rows);
   std::uint64_t peak = 1;
   for (std::uint64_t c : bins_) peak = std::max(peak, c);
-  for (std::size_t v = 0; v < rows; ++v) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t v = lo + r;
     const std::uint64_t c = count(v);
     const auto width = static_cast<std::size_t>(
         static_cast<double>(c) / static_cast<double>(peak) *
@@ -61,8 +75,8 @@ std::string Histogram::render(std::size_t max_rows,
     out << "load " << v << " | " << std::string(width, '#') << ' ' << c
         << '\n';
   }
-  if (top + 1 > rows) {
-    out << "... (" << (top + 1 - rows) << " more bins up to load " << top
+  if (span > rows) {
+    out << "... (" << (span - rows) << " more bins up to load " << top
         << ")\n";
   }
   return out.str();

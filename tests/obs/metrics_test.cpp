@@ -1,0 +1,325 @@
+// Tests for the run-metrics registry (obs/metrics.hpp): bucket layout,
+// quantile behavior at the extremes, the two switches, cross-shard
+// aggregation through real pool workers, snapshot-while-recording (the
+// TSan target), the pinned JSON/Prometheus exports, schema validation,
+// engine integration, and the crash-dump embedding.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/sequence.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+#include "util/json.hpp"
+
+namespace partree::obs {
+namespace {
+
+// Each test zeroes the registry and restores the default switch state, so
+// recordings from other code paths in this process never leak in.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    set_duration_metrics_enabled(false);
+    reset_metrics();
+  }
+  void TearDown() override {
+    set_metrics_enabled(true);
+    set_duration_metrics_enabled(false);
+    reset_metrics();
+  }
+};
+
+TEST_F(MetricsTest, Log2BucketUpperBounds) {
+  EXPECT_EQ(log2_bucket_upper(0), 0u);
+  EXPECT_EQ(log2_bucket_upper(1), 1u);
+  EXPECT_EQ(log2_bucket_upper(2), 3u);
+  EXPECT_EQ(log2_bucket_upper(10), 1023u);
+  EXPECT_EQ(log2_bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST_F(MetricsTest, RecordPlacesValuesInLog2Buckets) {
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 1024u}) {
+    record_value(ValueMetric::kMigrationBatchSize, v);
+  }
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricHistogram& h = snap.value(ValueMetric::kMigrationBatchSize);
+  EXPECT_EQ(h.buckets[0], 1u);  // value 0
+  EXPECT_EQ(h.buckets[1], 1u);  // value 1
+  EXPECT_EQ(h.buckets[2], 2u);  // values 2, 3
+  EXPECT_EQ(h.buckets[11], 1u);  // 1024 = 2^10, bit_width 11
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 1030u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 1024u);
+}
+
+// q = 0 / q = 1 must report the tracked extremes, never an empty leading
+// bucket's upper bound (the util::Histogram analogue of this bug is
+// covered in histogram_test.cpp).
+TEST_F(MetricsTest, QuantileExtremesWithEmptyLeadingBuckets) {
+  record_value(ValueMetric::kPoolChunkItems, 9);
+  record_value(ValueMetric::kPoolChunkItems, 12);
+  record_value(ValueMetric::kPoolChunkItems, 20);
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricHistogram& h = snap.value(ValueMetric::kPoolChunkItems);
+  EXPECT_EQ(h.buckets[0], 0u);
+  EXPECT_EQ(h.quantile(0.0), 9u);
+  EXPECT_EQ(h.quantile(1.0), 20u);
+  // Interior quantiles stay inside the observed range despite bucket
+  // upper bounds above max.
+  EXPECT_GE(h.quantile(0.5), 9u);
+  EXPECT_LE(h.quantile(0.5), 20u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantileIsZero) {
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricHistogram& h = snap.value(ValueMetric::kSweepShardCells);
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST_F(MetricsTest, MasterSwitchGatesEverything) {
+  set_metrics_enabled(false);
+  record_value(ValueMetric::kMigrationBatchSize, 5);
+  record_duration(DurationMetric::kSweepShardNs, 100);
+  gauge_max(GaugeMetric::kPoolQueueDepthHwm, 77);
+  const MetricsSnapshot off = snapshot_metrics();
+  EXPECT_EQ(off.value(ValueMetric::kMigrationBatchSize).count, 0u);
+  EXPECT_EQ(off.duration(DurationMetric::kSweepShardNs).count, 0u);
+  EXPECT_EQ(off.gauge(GaugeMetric::kPoolQueueDepthHwm), 0u);
+
+  set_metrics_enabled(true);
+  record_value(ValueMetric::kMigrationBatchSize, 5);
+  gauge_max(GaugeMetric::kPoolQueueDepthHwm, 77);
+  const MetricsSnapshot on = snapshot_metrics();
+  EXPECT_EQ(on.value(ValueMetric::kMigrationBatchSize).count, 1u);
+  EXPECT_EQ(on.gauge(GaugeMetric::kPoolQueueDepthHwm), 77u);
+}
+
+TEST_F(MetricsTest, DurationSwitchGatesTimersButNotDirectRecords) {
+  {
+    const MetricTimer t(DurationMetric::kReallocRoundNs);
+  }
+  EXPECT_EQ(snapshot_metrics().duration(DurationMetric::kReallocRoundNs).count,
+            0u);
+
+  // Pre-measured durations only need the master switch (the sweep-shard
+  // path records its checkpoint wall time this way).
+  record_duration(DurationMetric::kSweepShardNs, 1234);
+  EXPECT_EQ(snapshot_metrics().duration(DurationMetric::kSweepShardNs).count,
+            1u);
+
+  set_duration_metrics_enabled(true);
+  {
+    const MetricTimer t(DurationMetric::kReallocRoundNs);
+  }
+  set_duration_metrics_enabled(false);
+  EXPECT_EQ(snapshot_metrics().duration(DurationMetric::kReallocRoundNs).count,
+            1u);
+}
+
+TEST_F(MetricsTest, GaugeMergesByMaxAcrossThreads) {
+  gauge_max(GaugeMetric::kPoolQueueDepthHwm, 10);
+  gauge_max(GaugeMetric::kPoolQueueDepthHwm, 4);  // lower: no effect
+  std::thread other([] { gauge_max(GaugeMetric::kPoolQueueDepthHwm, 25); });
+  other.join();
+  EXPECT_EQ(snapshot_metrics().gauge(GaugeMetric::kPoolQueueDepthHwm), 25u);
+}
+
+TEST_F(MetricsTest, PoolWorkersAggregateAcrossShards) {
+  constexpr std::size_t kItems = 256;
+  sim::parallel_for(kItems, [](std::size_t) {}, /*n_threads=*/2);
+  const MetricsSnapshot snap = snapshot_metrics();
+
+  // The pool instrumented itself: one region of kItems, every item
+  // claimed in exactly one chunk by some worker (live shards), watermark
+  // gauges raised on the dispatching thread.
+  EXPECT_GE(snap.value(ValueMetric::kPoolRegionItems).count, 1u);
+  EXPECT_GE(snap.value(ValueMetric::kPoolRegionItems).max, kItems);
+  EXPECT_EQ(snap.value(ValueMetric::kPoolChunkItems).sum, kItems);
+  EXPECT_GE(snap.gauge(GaugeMetric::kPoolQueueDepthHwm), kItems);
+  EXPECT_GE(snap.gauge(GaugeMetric::kPoolWorkersHwm), 2u);
+}
+
+// The TSan target: writers hammer one histogram while the main thread
+// snapshots mid-flight. Every cell is a single-writer relaxed atomic, so
+// this must be race-free; after the join the aggregate is exact.
+TEST_F(MetricsTest, SnapshotWhileRecordingIsRaceFreeAndExactAfterJoin) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        record_value(ValueMetric::kSweepShardCells, i & 1023);
+      }
+    });
+  }
+  std::uint64_t last_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = snapshot_metrics();
+    const std::uint64_t seen =
+        snap.value(ValueMetric::kSweepShardCells).count;
+    EXPECT_GE(seen, last_seen);  // counts only grow
+    EXPECT_LE(seen, kThreads * kPerThread);
+    last_seen = seen;
+  }
+  for (std::thread& w : writers) w.join();
+  // Writer threads exited, their shards retired into the accumulator.
+  EXPECT_EQ(snapshot_metrics().value(ValueMetric::kSweepShardCells).count,
+            kThreads * kPerThread);
+}
+
+// Golden pins: the exported formats are a public contract (dashboards and
+// trace_stats --metrics parse them), so the exact text is asserted, not
+// just its shape. Records are made on this thread only.
+TEST_F(MetricsTest, GoldenJsonDocument) {
+  record_value(ValueMetric::kMigrationBatchSize, 0);
+  record_value(ValueMetric::kMigrationBatchSize, 3);
+  record_value(ValueMetric::kMigrationBatchSize, 5);
+  const util::json::Value doc = metrics_to_json(snapshot_metrics());
+
+  EXPECT_EQ(doc.at("schema").as_string(), "partree-metrics-v1");
+  const std::string expected =
+      "{\n"
+      "  \"buckets\": [\n"
+      "    [\n"
+      "      0,\n"
+      "      1\n"
+      "    ],\n"
+      "    [\n"
+      "      2,\n"
+      "      1\n"
+      "    ],\n"
+      "    [\n"
+      "      3,\n"
+      "      1\n"
+      "    ]\n"
+      "  ],\n"
+      "  \"count\": 3,\n"
+      "  \"max\": 5,\n"
+      "  \"mean\": 2.66666667,\n"
+      "  \"min\": 0,\n"
+      "  \"p50\": 3,\n"
+      "  \"p90\": 5,\n"
+      "  \"p99\": 5,\n"
+      "  \"sum\": 8\n"
+      "}";
+  EXPECT_EQ(doc.at("values").at("migration_batch_size").dump(), expected);
+
+  // The full document round-trips and validates.
+  const util::json::Value reparsed = util::json::parse(doc.dump());
+  EXPECT_EQ(validate_metrics_json(reparsed), "");
+}
+
+TEST_F(MetricsTest, GoldenPrometheusExposition) {
+  record_value(ValueMetric::kMigrationBatchSize, 0);
+  record_value(ValueMetric::kMigrationBatchSize, 3);
+  record_value(ValueMetric::kMigrationBatchSize, 5);
+  gauge_max(GaugeMetric::kPoolWorkersHwm, 4);
+  const std::string text = metrics_to_prometheus(snapshot_metrics());
+
+  const std::string histogram_family =
+      "# HELP partree_migration_batch_size Physical task moves per applied "
+      "reallocation round.\n"
+      "# TYPE partree_migration_batch_size histogram\n"
+      "partree_migration_batch_size_bucket{le=\"0\"} 1\n"
+      "partree_migration_batch_size_bucket{le=\"1\"} 1\n"
+      "partree_migration_batch_size_bucket{le=\"3\"} 2\n"
+      "partree_migration_batch_size_bucket{le=\"7\"} 3\n"
+      "partree_migration_batch_size_bucket{le=\"+Inf\"} 3\n"
+      "partree_migration_batch_size_sum 8\n"
+      "partree_migration_batch_size_count 3\n";
+  EXPECT_NE(text.find(histogram_family), std::string::npos) << text;
+
+  const std::string gauge_family =
+      "# HELP partree_pool_workers_hwm Most workers participating in any "
+      "region.\n"
+      "# TYPE partree_pool_workers_hwm gauge\n"
+      "partree_pool_workers_hwm 4\n";
+  EXPECT_NE(text.find(gauge_family), std::string::npos) << text;
+
+  // An empty family still exposes the +Inf bucket and zero totals.
+  const std::string empty_family =
+      "partree_sweep_shard_ns_bucket{le=\"+Inf\"} 0\n"
+      "partree_sweep_shard_ns_sum 0\n"
+      "partree_sweep_shard_ns_count 0\n";
+  EXPECT_NE(text.find(empty_family), std::string::npos) << text;
+}
+
+TEST_F(MetricsTest, ValidateCatchesTampering) {
+  record_value(ValueMetric::kPoolRegionItems, 42);
+  util::json::Value doc = metrics_to_json(snapshot_metrics());
+  EXPECT_EQ(validate_metrics_json(doc), "");
+
+  util::json::Value broken = doc;
+  broken.as_object().at("values")
+      .as_object().at("pool_region_items")
+      .as_object().at("count") = util::json::Value(std::uint64_t{99});
+  EXPECT_NE(validate_metrics_json(broken).find("do not sum"),
+            std::string::npos);
+
+  util::json::Value wrong_schema = doc;
+  wrong_schema.as_object().at("schema") = util::json::Value("bogus-v0");
+  EXPECT_NE(validate_metrics_json(wrong_schema).find("unknown schema"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, EngineRecordsHandlingDurations) {
+  core::TaskSequence seq;
+  for (std::uint64_t id = 1; id <= 6; ++id) seq.arrive_as(id, 1);
+  for (std::uint64_t id = 1; id <= 3; ++id) seq.depart(id);
+
+  set_duration_metrics_enabled(true);
+  const tree::Topology topo(8);
+  sim::Engine engine(topo);
+  auto greedy = core::make_allocator("greedy", topo);
+  (void)engine.run(seq, *greedy);
+  set_duration_metrics_enabled(false);
+
+  const MetricsSnapshot snap = snapshot_metrics();
+  EXPECT_EQ(snap.duration(DurationMetric::kArrivalHandleNs).count, 6u);
+  EXPECT_EQ(snap.duration(DurationMetric::kDepartureHandleNs).count, 3u);
+  // Greedy never reallocates, so no round was timed and no batch recorded.
+  EXPECT_EQ(snap.duration(DurationMetric::kReallocRoundNs).count, 0u);
+  EXPECT_EQ(snap.value(ValueMetric::kMigrationBatchSize).count, 0u);
+}
+
+TEST_F(MetricsTest, CrashDumpEmbedsMetricsSnapshot) {
+  record_value(ValueMetric::kMigrationBatchSize, 7);
+  const std::string dump_path =
+      ::testing::TempDir() + "metrics_test.crash.json";
+  std::remove(dump_path.c_str());
+  set_crash_dump_path(dump_path);
+  ASSERT_EQ(write_crash_dump("metrics embed test"), dump_path);
+  set_crash_dump_path("");
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::json::Value dump = util::json::parse(buf.str());
+  const util::json::Value* metrics = dump.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(validate_metrics_json(*metrics), "");
+  EXPECT_GE(metrics->at("values").at("migration_batch_size")
+                .at("count").as_u64(),
+            1u);
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace partree::obs

@@ -45,6 +45,26 @@ TEST(HistogramTest, Quantile) {
   EXPECT_EQ(h.quantile(1.0), 9u);
 }
 
+// Regression: q = 0 used to round its rank target to 0, which bin 0
+// satisfies with a cumulative count of 0 -- so any histogram whose mass
+// sits above bin 0 reported a minimum of 0. q = 0 must walk to the
+// smallest populated value.
+TEST(HistogramTest, QuantileZeroSkipsEmptyLeadingBins) {
+  Histogram h;
+  h.add(8, 3);
+  h.add(12);
+  EXPECT_EQ(h.quantile(0.0), 8u);
+  EXPECT_EQ(h.quantile(1.0), 12u);
+}
+
+TEST(HistogramTest, QuantileExtremesSingleHighValue) {
+  Histogram h;
+  h.add(1000);
+  EXPECT_EQ(h.quantile(0.0), 1000u);
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
 TEST(HistogramTest, Merge) {
   Histogram a;
   a.add(1);
@@ -79,9 +99,26 @@ TEST(HistogramTest, RenderProducesRows) {
 
 TEST(HistogramTest, RenderCapsRows) {
   Histogram h;
-  h.add(50);
+  for (std::uint64_t v = 50; v <= 60; ++v) h.add(v);
   const std::string text = h.render(/*max_rows=*/5);
-  EXPECT_NE(text.find("more bins"), std::string::npos);
+  EXPECT_NE(text.find("load 50"), std::string::npos);
+  EXPECT_NE(text.find("load 54"), std::string::npos);
+  EXPECT_EQ(text.find("load 55"), std::string::npos);
+  EXPECT_NE(text.find("(6 more bins up to load 60)"), std::string::npos);
+}
+
+// Regression: all mass in high bins used to render max_rows empty
+// "load 0..N" bars and push every populated bin into the "... more bins"
+// tail. Rendering starts at the first populated bin instead.
+TEST(HistogramTest, RenderSkipsLeadingEmptyBins) {
+  Histogram h;
+  h.add(50, 3);
+  h.add(52);
+  const std::string text = h.render(/*max_rows=*/5);
+  EXPECT_EQ(text.find("load 0 "), std::string::npos);
+  EXPECT_NE(text.find("load 50"), std::string::npos);
+  EXPECT_NE(text.find("load 52"), std::string::npos);
+  EXPECT_EQ(text.find("more bins"), std::string::npos);
 }
 
 TEST(HistogramTest, HistogramOfVector) {
