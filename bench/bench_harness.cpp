@@ -26,6 +26,7 @@
 #include <ctime>
 #include <fstream>
 #include <functional>
+#include <thread>
 
 #include "core/factory.hpp"
 #include "obs/bench_schema.hpp"
@@ -33,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
 #include "sim/sweep.hpp"
@@ -203,6 +205,57 @@ void trial_batch_body(const HarnessConfig& config) {
   for (int batch = 0; batch < batches; ++batch) {
     (void)sim::run_trials(topo, seq, "random", topt);
   }
+}
+
+// Suite 5b: the online partition service under concurrent load -- 4
+// closed-loop client threads submitting through the bounded MPSC queue,
+// one apply thread draining epoch batches. Times the full
+// admission-to-completion path (queue handoff + batching + allocator
+// apply), the thing serve/service.hpp adds on top of engine replay.
+void serve_throughput_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 64 : 256;
+  const tree::Topology topo(n);
+  serve::ServiceOptions options;
+  options.queue_capacity = 512;
+  options.batch_size = 64;
+  options.record_sequence = false;  // timing, not verification
+  serve::PartitionService service(
+      topo, core::make_allocator("dmix:d=2", topo, config.seed), options);
+
+  constexpr std::uint64_t kClients = 4;
+  const std::uint64_t per_client =
+      static_cast<std::uint64_t>(2000 * config.scale) + 100;
+  std::uint64_t log2n = 0;
+  while ((std::uint64_t{1} << (log2n + 1)) <= n) ++log2n;
+
+  std::vector<std::thread> clients;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(config.seed + 23 + c);
+      std::vector<core::TaskId> mine;
+      for (std::uint64_t k = 0; k < per_client; ++k) {
+        if (!mine.empty() && (mine.size() >= 8 || rng.bernoulli(0.45))) {
+          const std::uint64_t pick = rng.below(mine.size());
+          const core::TaskId id = mine[pick];
+          mine[pick] = mine.back();
+          mine.pop_back();
+          (void)service.submit_departure(id).get();
+        } else {
+          const std::uint64_t size = std::uint64_t{1}
+                                     << rng.below(log2n + 1);
+          auto ticket = service.submit_arrival(size);
+          mine.push_back(ticket.id);
+          (void)ticket.placed.get();
+        }
+      }
+      for (const core::TaskId id : mine) {
+        (void)service.submit_departure(id).get();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();
+  service.stop();
 }
 
 // Suite 6: counters-enabled vs counters-disabled medians of the greedy
@@ -587,6 +640,9 @@ int main(int argc, char** argv) {
   report.suites.push_back(bench::run_suite(
       "trial_batch_pool", config.smoke ? 32 : 64, config,
       [&] { bench::trial_batch_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "serve_throughput", config.smoke ? 64 : 256, config,
+      [&] { bench::serve_throughput_body(config); }));
   report.suites.push_back(bench::counter_overhead_suite(config));
   report.suites.push_back(bench::trace_overhead_suite(config));
   report.suites.push_back(bench::metrics_overhead_suite(config));

@@ -40,7 +40,13 @@ cmake --build "$BUILD" -j "$(nproc)"
 if [[ "$MODE" == "tsan" ]]; then
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
-  echo "check.sh: OK (TSan tier1)"
+  # The partition-service differential tests are the load-bearing TSan
+  # targets (client threads + apply thread); --no-tests=error makes a
+  # registration failure a hard failure, not a silent skip.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD" -R 'Serve' --no-tests=error \
+      --output-on-failure -j "$(nproc)"
+  echo "check.sh: OK (TSan tier1 + serve)"
   exit 0
 fi
 
@@ -49,6 +55,8 @@ ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$(nproc)"
 # tier1 already ran these; --no-tests=error turns "the metrics tests were
 # filtered out / failed to register" into a hard failure, not a skip.
 ctest --test-dir "$BUILD" -R 'Metrics' --no-tests=error \
+  --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD" -R 'Serve' --no-tests=error \
   --output-on-failure -j "$(nproc)"
 
 SMOKE="$BUILD/BENCH_smoke.json"

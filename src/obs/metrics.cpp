@@ -153,6 +153,10 @@ constexpr MetricHelp kDurationHelp[kNumDurationMetrics] = {
     {"pool_worker_idle_ns",
      "One worker's parked gap between consecutive regions, ns."},
     {"sweep_shard_ns", "One sweep shard (all its cells), ns."},
+    {"serve_queue_wait_ns",
+     "One request's wait in the partition-service queue, ns."},
+    {"serve_apply_ns",
+     "One request applied by the partition-service apply thread, ns."},
 };
 
 constexpr MetricHelp kValueHelp[kNumValueMetrics] = {
@@ -161,11 +165,15 @@ constexpr MetricHelp kValueHelp[kNumValueMetrics] = {
     {"pool_region_items", "Items per dispatched parallel region."},
     {"pool_chunk_items", "Items per chunk claimed off the ticket counter."},
     {"sweep_shard_cells", "Cells per executed sweep shard."},
+    {"serve_batch_requests",
+     "Requests per applied partition-service epoch batch."},
 };
 
 constexpr MetricHelp kGaugeHelp[kNumGaugeMetrics] = {
     {"pool_queue_depth_hwm", "Most items queued at any region dispatch."},
     {"pool_workers_hwm", "Most workers participating in any region."},
+    {"serve_queue_depth_hwm",
+     "Most requests queued in the partition service."},
 };
 
 util::json::Value histogram_to_json(const MetricHistogram& h) {

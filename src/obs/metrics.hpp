@@ -65,6 +65,12 @@ enum class DurationMetric : std::size_t {
   kPoolWorkerIdleNs,
   /// Sweep: one run_shard call (all cells of the shard).
   kSweepShardNs,
+  /// Serve: one request's wait in the partition-service queue, from
+  /// admission to its epoch batch being dequeued.
+  kServeQueueWaitNs,
+  /// Serve: one request applied through the allocator by the service
+  /// apply thread (placement or removal + any triggered reallocation).
+  kServeApplyNs,
   kCount,
 };
 
@@ -79,6 +85,8 @@ enum class ValueMetric : std::size_t {
   kPoolChunkItems,
   /// Sweep: cells per executed shard.
   kSweepShardCells,
+  /// Serve: requests per applied epoch batch.
+  kServeBatchRequests,
   kCount,
 };
 
@@ -88,6 +96,8 @@ enum class GaugeMetric : std::size_t {
   kPoolQueueDepthHwm = 0,
   /// Pool: most workers participating in any region.
   kPoolWorkersHwm,
+  /// Serve: most requests queued in the partition service.
+  kServeQueueDepthHwm,
   kCount,
 };
 

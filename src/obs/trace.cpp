@@ -166,6 +166,7 @@ std::string_view instant_name(Instant i) noexcept {
     case Instant::kFaultInjected: return "fault_injected";
     case Instant::kStateDigest: return "state_digest";
     case Instant::kSweepShard: return "sweep_shard";
+    case Instant::kServeBatch: return "serve_batch";
     case Instant::kCount: break;
   }
   return "unknown";

@@ -53,6 +53,9 @@ enum class Instant : std::uint8_t {
   /// One sweep shard completed (sim/sweep.hpp run_shard); payload = the
   /// shard index.
   kSweepShard,
+  /// One partition-service epoch batch applied (serve/service.hpp);
+  /// payload = requests in the batch.
+  kServeBatch,
   kCount,
 };
 

@@ -1,0 +1,301 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace partree::serve {
+
+std::string_view service_error_name(ServiceErrorCode code) noexcept {
+  switch (code) {
+    case ServiceErrorCode::kQueueFull: return "queue_full";
+    case ServiceErrorCode::kTimeout: return "timeout";
+    case ServiceErrorCode::kStopped: return "stopped";
+    case ServiceErrorCode::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+PartitionService::PartitionService(tree::Topology topo,
+                                   core::AllocatorPtr allocator,
+                                   ServiceOptions options)
+    : topo_(topo),
+      allocator_(std::move(allocator)),
+      options_(options),
+      state_(topo) {
+  PARTREE_ASSERT(allocator_ != nullptr, "service needs an allocator");
+  PARTREE_ASSERT(options_.queue_capacity >= 1, "queue capacity must be >= 1");
+  PARTREE_ASSERT(options_.batch_size >= 1, "batch size must be >= 1");
+  allocator_->reset();
+  apply_thread_ = std::thread([this] { apply_loop(); });
+}
+
+PartitionService::~PartitionService() { stop(); }
+
+ArrivalTicket PartitionService::submit_arrival(std::uint64_t size) {
+  // Size validation happens before admission so an invalid request can
+  // never reach the recorded sequence (which must replay through
+  // Engine::run's sequence validation).
+  if (!core::valid_task_size(size, topo_.n_leaves())) {
+    throw ServiceError(ServiceErrorCode::kBadRequest,
+                       "arrival size " + std::to_string(size) +
+                           " is not a power of two in [1, " +
+                           std::to_string(topo_.n_leaves()) + "]");
+  }
+  Admitted admitted = admit(core::EventKind::kArrival, kInvalidRequestId,
+                            size);
+  return ArrivalTicket{admitted.id, std::move(admitted.applied)};
+}
+
+std::future<Placement> PartitionService::submit_departure(core::TaskId id) {
+  return admit(core::EventKind::kDeparture, id, 0).applied;
+}
+
+// Shared admission path: backpressure, id assignment (arrivals are
+// numbered in admission order under the queue lock, which is what makes
+// the recorded sequence's ids deterministic), and the queue push.
+PartitionService::Admitted PartitionService::admit(core::EventKind kind,
+                                                   core::TaskId id,
+                                                   std::uint64_t size) {
+  std::unique_lock lock(mutex_);
+  const auto has_space = [this] {
+    return queue_.size() < options_.queue_capacity || !accepting_;
+  };
+  if (!accepting_) {
+    throw ServiceError(ServiceErrorCode::kStopped, "service is stopped");
+  }
+  if (!has_space()) {
+    if (options_.backpressure == BackpressureMode::kReject) {
+      ++stats_.rejected;
+      throw ServiceError(ServiceErrorCode::kQueueFull,
+                         "request queue is full");
+    }
+    if (options_.block_timeout_ms == 0) {
+      cv_space_.wait(lock, has_space);
+    } else if (!cv_space_.wait_for(
+                   lock, std::chrono::milliseconds(options_.block_timeout_ms),
+                   has_space)) {
+      ++stats_.rejected;
+      throw ServiceError(ServiceErrorCode::kTimeout,
+                         "request queue stayed full past the deadline");
+    }
+    if (!accepting_) {
+      throw ServiceError(ServiceErrorCode::kStopped, "service is stopped");
+    }
+  }
+
+  Request req;
+  req.kind = kind;
+  req.task = kind == core::EventKind::kArrival ? core::Task{next_id_++, size}
+                                               : core::Task{id, 0};
+  if (obs::duration_metrics_enabled()) {
+    req.enqueue_ns = obs::detail::monotonic_ns();
+  }
+  Admitted admitted{req.task.id, req.promise.get_future()};
+  queue_.push_back(std::move(req));
+  ++stats_.admitted;
+  obs::gauge_max(obs::GaugeMetric::kServeQueueDepthHwm, queue_.size());
+  lock.unlock();
+  cv_work_.notify_one();
+  return admitted;
+}
+
+void PartitionService::flush() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t target = stats_.admitted;
+  cv_work_.notify_one();
+  cv_applied_.wait(lock, [this, target] {
+    return stats_.applied + stats_.failed >= target || stopped_;
+  });
+}
+
+void PartitionService::drain() {
+  std::unique_lock lock(mutex_);
+  cv_work_.notify_one();
+  cv_applied_.wait(lock, [this] {
+    return (queue_.empty() &&
+            stats_.applied + stats_.failed >= stats_.admitted) ||
+           stopped_;
+  });
+}
+
+void PartitionService::stop() {
+  {
+    std::unique_lock lock(mutex_);
+    if (stopped_ && !apply_thread_.joinable()) return;
+    accepting_ = false;
+    stopping_ = true;
+    paused_ = false;  // stop() overrides a test pause: everything drains
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();  // parked submitters observe kStopped
+  if (apply_thread_.joinable()) apply_thread_.join();
+  std::unique_lock lock(mutex_);
+  stopped_ = true;
+  cv_applied_.notify_all();
+}
+
+ServiceStats PartitionService::stats() const {
+  std::unique_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t PartitionService::queue_depth() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+const core::TaskSequence& PartitionService::recorded() const {
+  std::unique_lock lock(mutex_);
+  PARTREE_ASSERT(stopped_, "recorded() requires stop() first");
+  return recorded_;
+}
+
+void PartitionService::pause_applying() {
+  std::unique_lock lock(mutex_);
+  paused_ = true;
+}
+
+void PartitionService::resume_applying() {
+  {
+    std::unique_lock lock(mutex_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void PartitionService::apply_loop() {
+  std::uint64_t batch_index = 0;
+  std::deque<Request> batch;
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] {
+        if (stopping_) return true;  // drain (or exit) regardless of pause
+        return !paused_ && !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_) break;
+        continue;
+      }
+      // Close the epoch batch at the cap or at whatever is queued right
+      // now -- the apply thread never waits for a batch to fill, so
+      // queue-empty is a natural flush point and flush()/drain() only
+      // ever wait, never signal special markers.
+      const std::size_t take =
+          std::min(queue_.size(), options_.batch_size);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    cv_space_.notify_all();
+    apply_batch(batch, batch_index++);
+    batch.clear();
+  }
+
+  // Everything admitted has been answered; publish the end-of-run facts.
+  const std::uint64_t digest = state_.digest();
+  std::unique_lock lock(mutex_);
+  stats_.final_digest = digest;
+  stats_.optimal_load = state_.optimal_load();
+  cv_applied_.notify_all();
+}
+
+void PartitionService::apply_batch(std::deque<Request>& batch,
+                                   std::uint64_t batch_index) {
+  ServiceStats delta;
+  for (Request& req : batch) {
+    if (req.enqueue_ns != 0) {
+      obs::record_duration(obs::DurationMetric::kServeQueueWaitNs,
+                           obs::detail::monotonic_ns() - req.enqueue_ns);
+    }
+    apply_one(req, batch_index, delta);
+  }
+  obs::emit_instant(obs::Instant::kServeBatch, batch.size());
+  obs::record_value(obs::ValueMetric::kServeBatchRequests, batch.size());
+
+  std::unique_lock lock(mutex_);
+  stats_.applied += delta.applied;
+  stats_.failed += delta.failed;
+  stats_.arrivals += delta.arrivals;
+  stats_.departures += delta.departures;
+  stats_.reallocation_count += delta.reallocation_count;
+  stats_.migration_count += delta.migration_count;
+  stats_.migrated_size += delta.migrated_size;
+  stats_.max_load = std::max(stats_.max_load, delta.max_load);
+  ++stats_.batches;
+  stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+  lock.unlock();
+  cv_applied_.notify_all();
+}
+
+// One request through the allocator, mirroring the Engine's event
+// contract exactly (sim/engine.cpp): an arrival is place -> state.place
+// -> maybe_reallocate -> migrate, a departure is on_departure -> remove.
+// Any deviation here would break the serve == serial-replay digest
+// equivalence the differential test pins.
+void PartitionService::apply_one(Request& req, std::uint64_t batch_index,
+                                 ServiceStats& delta) {
+  const obs::MetricTimer apply_timer(obs::DurationMetric::kServeApplyNs);
+  Placement placement;
+  placement.id = req.task.id;
+  placement.batch = batch_index;
+
+  if (req.kind == core::EventKind::kArrival) {
+    if (options_.record_sequence) {
+      recorded_.arrive_as(req.task.id, req.task.size);
+    }
+    const tree::NodeId node = allocator_->place(req.task, state_);
+    state_.place(req.task, node);
+    placement.size = req.task.size;
+    placement.node = node;
+    if (auto migrations = allocator_->maybe_reallocate(state_)) {
+      ++delta.reallocation_count;
+      obs::emit_instant(obs::Instant::kReallocRound, migrations->size());
+      std::uint64_t batch_moves = 0;
+      for (const core::Migration& m : *migrations) {
+        if (m.from != m.to) {
+          ++batch_moves;
+          delta.migrated_size += state_.active_task(m.id).task.size;
+        }
+      }
+      delta.migration_count += batch_moves;
+      obs::record_value(obs::ValueMetric::kMigrationBatchSize, batch_moves);
+      state_.migrate(*migrations);
+      // The task may have been moved by the reallocation it triggered;
+      // report where it actually lives.
+      placement.node = state_.active_task(req.task.id).node;
+    }
+    ++delta.arrivals;
+    obs::emit_instant(obs::Instant::kArrival, req.task.id);
+  } else {
+    if (!state_.is_active(req.task.id)) {
+      // Fail THIS request only, in-band (Placement::ok = false, never
+      // set_exception -- see the ServiceErrorCode comment in the
+      // header); it is not recorded, so the recorded sequence stays
+      // replayable.
+      ++delta.failed;
+      placement.ok = false;
+      placement.error = ServiceErrorCode::kBadRequest;
+      req.promise.set_value(placement);
+      return;
+    }
+    if (options_.record_sequence) recorded_.depart(req.task.id);
+    placement.size = state_.active_task(req.task.id).task.size;
+    allocator_->on_departure(req.task.id, state_);
+    placement.node = state_.remove(req.task.id);
+    ++delta.departures;
+    obs::emit_instant(obs::Instant::kDeparture, req.task.id);
+  }
+
+  placement.max_load = state_.max_load();
+  delta.max_load = std::max(delta.max_load, placement.max_load);
+  ++delta.applied;
+  req.promise.set_value(placement);
+}
+
+}  // namespace partree::serve

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "util/assert.hpp"
+
 namespace partree::util {
 
 std::vector<std::string> split(std::string_view text, char sep) {
@@ -57,9 +59,24 @@ std::optional<double> parse_double(std::string_view text) noexcept {
 }
 
 std::string format_double(double value, int digits) {
+  // "%.*f" of a large magnitude (or a large `digits`) can need hundreds
+  // of characters -- 1e300 alone is 301 digits before the point. A fixed
+  // buffer would truncate silently and the zero-stripping below would
+  // then mangle the truncated text, so size the buffer from snprintf's
+  // return value (the length the full text needs) and retry when the
+  // stack buffer is too small.
   char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
-  std::string text(buffer);
+  const int needed =
+      std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  PARTREE_ASSERT(needed >= 0, "snprintf failed formatting a double");
+  std::string text;
+  if (static_cast<std::size_t>(needed) < sizeof buffer) {
+    text.assign(buffer);
+  } else {
+    text.resize(static_cast<std::size_t>(needed) + 1);
+    std::snprintf(text.data(), text.size(), "%.*f", digits, value);
+    text.resize(static_cast<std::size_t>(needed));
+  }
   if (text.find('.') != std::string::npos) {
     while (text.back() == '0') text.pop_back();
     if (text.back() == '.') text.pop_back();

@@ -73,8 +73,13 @@ core::TaskSequence closed_loop(tree::Topology topo,
                                util::Rng& rng) {
   PARTREE_ASSERT(params.utilization > 0.0 && params.utilization <= 1.0,
                  "utilization must be in (0, 1]");
-  const auto target = static_cast<std::uint64_t>(
-      params.utilization * static_cast<double>(topo.n_leaves()));
+  // Truncation can yield target == 0 (utilization 0.2 on 4 leaves),
+  // which would make the "hold the load" loop oscillate between empty
+  // and one task instead of holding anything. A closed loop with
+  // positive utilization always keeps at least one task active.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params.utilization *
+                                    static_cast<double>(topo.n_leaves())));
 
   core::TaskSequence seq;
   std::vector<std::pair<core::TaskId, std::uint64_t>> active;  // id, size
@@ -98,7 +103,10 @@ core::TaskSequence closed_loop(tree::Topology topo,
 
   for (std::uint64_t k = 0; k < params.warmup_tasks; ++k) do_arrival();
   for (std::uint64_t e = 0; e < params.n_events; ++e) {
-    if (active.empty() || active_size < target) {
+    // Arrive at or below target, depart strictly above it: once the
+    // target is reached the active size never drops below it, so the
+    // sequence holds the load instead of draining back to empty.
+    if (active.empty() || active_size <= target) {
       do_arrival();
     } else {
       do_departure();

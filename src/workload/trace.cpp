@@ -1,9 +1,11 @@
 #include "workload/trace.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/file.hpp"
 #include "util/str.hpp"
 
 namespace partree::workload {
@@ -23,9 +25,17 @@ void write_trace(const core::TaskSequence& sequence, std::ostream& out) {
 
 void write_trace_file(const core::TaskSequence& sequence,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  // Render in memory and land the bytes with write_file_atomic rather
+  // than streaming into a plain ofstream: an ofstream swallows write
+  // errors (full disk, unwritable directory) unless every operation is
+  // checked, and a partial trace that parses up to the truncation point
+  // is worse than no trace. The atomic path also never clobbers a
+  // previous complete trace with a half-written one.
+  std::ostringstream out;
   write_trace(sequence, out);
+  if (!out || !util::write_file_atomic(path, out.str())) {
+    throw std::runtime_error("cannot write trace file: " + path);
+  }
 }
 
 core::TaskSequence read_trace(std::istream& in) {

@@ -68,6 +68,30 @@ TEST(StrTest, FormatDouble) {
   EXPECT_EQ(format_double(1.23456, 2), "1.23");
 }
 
+// "%.*f" of a huge magnitude needs hundreds of characters; a fixed
+// 64-char buffer used to truncate these silently (and the trailing-zero
+// stripper then mangled the truncated text).
+TEST(StrTest, FormatDoubleLargeMagnitudeIsNotTruncated) {
+  const std::string big = format_double(1e300);
+  EXPECT_EQ(big.size(), 301u);  // 301 integer digits, fraction stripped
+  EXPECT_EQ(big.front(), '1');
+  EXPECT_EQ(big.find_first_not_of("0123456789"), std::string::npos);
+
+  const std::string neg = format_double(-1e300);
+  EXPECT_EQ(neg.size(), 302u);
+  EXPECT_EQ(neg.front(), '-');
+  EXPECT_EQ(neg.substr(1), big);
+}
+
+// A large requested precision alone overflows the stack buffer; the
+// value itself is exact in binary, so after the full-length render the
+// stripper must still reduce it to the short form.
+TEST(StrTest, FormatDoubleManyDigitsStillStrips) {
+  EXPECT_EQ(format_double(0.5, 80), "0.5");
+  EXPECT_EQ(format_double(-0.25, 100), "-0.25");
+  EXPECT_EQ(format_double(0.0, 90), "0");
+}
+
 TEST(StrTest, StartsWith) {
   EXPECT_TRUE(starts_with("--flag", "--"));
   EXPECT_FALSE(starts_with("-f", "--"));

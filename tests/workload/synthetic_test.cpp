@@ -65,6 +65,43 @@ TEST(ClosedLoopTest, HoldsTargetUtilization) {
   EXPECT_EQ(seq.active_size_after(seq.size()), 0u);
 }
 
+// utilization * n_leaves used to truncate to a target of ZERO on small
+// machines (0.2 * 4 -> 0), making the "hold the load" loop oscillate
+// between empty and one task. The target is now clamped to >= 1 and the
+// loop arrives at-or-below target, so once a task is active the
+// sequence never drains until the final teardown.
+TEST(ClosedLoopTest, TinyUtilizationStillHoldsOneTask) {
+  const tree::Topology topo(4);
+  util::Rng rng(9);
+  ClosedLoopParams params;
+  params.n_events = 200;
+  params.utilization = 0.2;  // truncated target would be 0
+  params.size = SizeSpec::fixed_size(1);
+  const core::TaskSequence seq = closed_loop(topo, params, rng);
+  EXPECT_EQ(seq.validate(4), "");
+  for (std::size_t tau = 1; tau <= 200; ++tau) {
+    EXPECT_GE(seq.active_size_after(tau), 1u) << "drained at event " << tau;
+  }
+  EXPECT_EQ(seq.active_size_after(seq.size()), 0u);  // final drain intact
+}
+
+TEST(ClosedLoopTest, NeverDipsBelowTargetOnceReached) {
+  const tree::Topology topo(64);
+  util::Rng rng(10);
+  ClosedLoopParams params;
+  params.n_events = 3000;
+  params.utilization = 0.5;  // target 32
+  params.size = SizeSpec::fixed_size(1);
+  const core::TaskSequence seq = closed_loop(topo, params, rng);
+  bool reached = false;
+  for (std::size_t tau = 1; tau <= 3000; ++tau) {
+    const std::uint64_t active = seq.active_size_after(tau);
+    if (active >= 32) reached = true;
+    if (reached) EXPECT_GE(active, 32u) << "dipped at event " << tau;
+  }
+  EXPECT_TRUE(reached);
+}
+
 TEST(ClosedLoopTest, WarmupArrivesFirst) {
   const tree::Topology topo(16);
   util::Rng rng(5);

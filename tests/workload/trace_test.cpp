@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -121,6 +122,54 @@ TEST(TraceTest, FileRoundTrip) {
 TEST(TraceTest, MissingFileThrows) {
   EXPECT_THROW((void)read_trace_file("/nonexistent/path/trace.csv"),
                std::runtime_error);
+}
+
+TEST(TraceTest, FileRoundTripLargeSequence) {
+  const tree::Topology topo(32);
+  util::Rng rng(2);
+  ClosedLoopParams params;
+  params.n_events = 500;
+  params.size = SizeSpec::uniform_log(0, 5);
+  const core::TaskSequence original = closed_loop(topo, params, rng);
+
+  const std::string path = ::testing::TempDir() + "/partree_trace_big.csv";
+  write_trace_file(original, path);
+  EXPECT_EQ(read_trace_file(path), original);
+  std::remove(path.c_str());
+}
+
+// write_trace_file used to stream into a plain ofstream and never check
+// the stream state, so an unwritable destination produced a silently
+// missing or truncated trace. It now goes through write_file_atomic and
+// must throw instead.
+TEST(TraceTest, WriteToUnwritableDirectoryThrows) {
+  core::TaskSequence seq;
+  (void)seq.arrive(1);
+  EXPECT_THROW(write_trace_file(seq, "/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceTest, FailedWriteLeavesPreviousTraceIntact) {
+  const std::string path = ::testing::TempDir() + "/partree_trace_keep.csv";
+  core::TaskSequence seq;
+  const core::TaskId a = seq.arrive(4);
+  seq.depart(a);
+  write_trace_file(seq, path);
+
+  // A destination that cannot be renamed over (a directory) must fail
+  // loudly AND leave the existing file untouched -- that is the point of
+  // routing through the atomic writer.
+  const std::string dir_path = ::testing::TempDir() + "/partree_trace_dir";
+  ASSERT_EQ(std::filesystem::is_directory(dir_path) ||
+                std::filesystem::create_directory(dir_path),
+            true);
+  core::TaskSequence other;
+  (void)other.arrive(2);
+  EXPECT_THROW(write_trace_file(other, dir_path), std::runtime_error);
+
+  EXPECT_EQ(read_trace_file(path), seq);
+  std::remove(path.c_str());
+  std::filesystem::remove(dir_path);
 }
 
 }  // namespace
