@@ -181,6 +181,30 @@ void engine_replay_body(const HarnessConfig& config) {
   }
 }
 
+// Suite 4b: reallocation-round cost -- A_M(d=1) at large N under a
+// high-churn closed loop whose task sizes are biased large, so the d=1
+// trigger fires every few arrivals and the per-round repack cost
+// (copy-tree rebuild + pack + migration planning) dominates the run
+// rather than the O(log N) placement path.
+void realloc_round_body(const HarnessConfig& config) {
+  const std::uint64_t n = config.smoke ? 1024 : 65536;
+  const tree::Topology topo(n);
+  util::Rng rng(config.seed + 29);
+  workload::ClosedLoopParams params;
+  params.n_events =
+      static_cast<std::uint64_t>(2400 * config.scale) + 100;
+  params.utilization = 0.9;
+  params.size =
+      workload::SizeSpec::uniform_log(topo.height() - 7, topo.height());
+  const auto seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo);
+  auto alloc = core::make_allocator("dmix:d=1", topo);
+  const auto result = engine.run(seq, *alloc);
+  PARTREE_ASSERT(result.reallocation_count > 0,
+                 "realloc_round measured zero reallocation rounds");
+}
+
 // Suite 5: run_trials batches dispatched through the persistent worker
 // pool -- 8 back-to-back batches of 16 seeded trials each, so the pool's
 // region setup/join cost (not thread spawn cost, which the pool amortizes
@@ -637,6 +661,9 @@ int main(int argc, char** argv) {
   report.suites.push_back(bench::run_suite(
       "engine_replay", config.smoke ? 512 : 4096, config,
       [&] { bench::engine_replay_body(config); }));
+  report.suites.push_back(bench::run_suite(
+      "realloc_round", config.smoke ? 1024 : 65536, config,
+      [&] { bench::realloc_round_body(config); }));
   report.suites.push_back(bench::run_suite(
       "trial_batch_pool", config.smoke ? 32 : 64, config,
       [&] { bench::trial_batch_body(config); }));

@@ -133,6 +133,88 @@ void BM_PackTasks(benchmark::State& state) {
                           state.range(0));
 }
 
+// The bucketed pack path behind every repack round: same multiset as
+// BM_PackTasks but through pack_tasks_ordered, which routes through the
+// per-size-class buckets and CopySet::place_run instead of a comparison
+// sort plus per-task place().
+void BM_PackTasksBucketed(benchmark::State& state) {
+  const tree::Topology topo(1024);
+  util::Rng rng(7);
+  std::vector<core::ActiveTask> tasks;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const std::uint64_t size = std::uint64_t{1} << rng.below(8);
+    tasks.push_back({core::Task{static_cast<core::TaskId>(i), size},
+                     tree::kInvalidNode});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::pack_tasks_ordered(topo, tasks, core::PackOrder::kDecreasingSize));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+// One full delta-planning round over a live machine with reused scratch:
+// the steady-state cost A_M pays per triggered reallocation (bucket the
+// active set, rebuild the canonical layout into the recycled CopySet,
+// diff against current nodes). The state is scattered by A_B so the plan
+// is non-trivial, and it is never applied, so every iteration replans the
+// same round.
+void BM_PlanRepackScratch(benchmark::State& state) {
+  const tree::Topology topo(static_cast<std::uint64_t>(state.range(0)));
+  core::MachineState machine(topo);
+  util::Rng rng(11);
+  auto scatter = core::make_allocator("basic", topo);
+  const std::uint64_t target = topo.n_leaves() * 9 / 10;
+  core::TaskId next_id = 0;
+  while (machine.active_size() < target) {
+    const std::uint64_t size = std::uint64_t{1}
+                               << rng.below(topo.height() + 1);
+    if (machine.active_size() + size > topo.n_leaves()) break;
+    const core::Task task{next_id++, size};
+    machine.place(task, scatter->place(task, machine));
+  }
+  core::PackScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_repack(machine, scratch));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(machine.active_count()));
+}
+
+// place_run batches vs the same run issued one place() at a time, so the
+// amortized fits_-bitset walk is visible head to head.
+void BM_PlaceRunBatch(benchmark::State& state) {
+  const tree::Topology topo(1024);
+  tree::CopySet copies(topo);
+  std::vector<tree::CopyPlacement> out;
+  const std::uint64_t count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    copies.clear();
+    out.clear();
+    copies.place_run(4, count, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_PlaceRunSingles(benchmark::State& state) {
+  const tree::Topology topo(1024);
+  tree::CopySet copies(topo);
+  std::vector<tree::CopyPlacement> out;
+  const std::uint64_t count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    copies.clear();
+    out.clear();
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(copies.place(4));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_AllocatorRun, greedy, "greedy")
@@ -166,3 +248,7 @@ BENCHMARK(BM_LevelForestMinQuery)->RangeMultiplier(16)->Range(64, 262144);
 BENCHMARK(BM_VacancyChurn)->RangeMultiplier(16)->Range(64, 65536);
 BENCHMARK(BM_CopySetChurn)->RangeMultiplier(16)->Range(64, 65536);
 BENCHMARK(BM_PackTasks)->RangeMultiplier(8)->Range(64, 4096);
+BENCHMARK(BM_PackTasksBucketed)->RangeMultiplier(8)->Range(64, 4096);
+BENCHMARK(BM_PlanRepackScratch)->RangeMultiplier(16)->Range(256, 65536);
+BENCHMARK(BM_PlaceRunBatch)->RangeMultiplier(8)->Range(8, 512);
+BENCHMARK(BM_PlaceRunSingles)->RangeMultiplier(8)->Range(8, 512);

@@ -46,7 +46,13 @@ if [[ "$MODE" == "tsan" ]]; then
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD" -R 'Serve' --no-tests=error \
       --output-on-failure -j "$(nproc)"
-  echo "check.sh: OK (TSan tier1 + serve)"
+  # The repack pipeline (bucketed pack, place_run, delta planner, scratch
+  # reuse) feeds the serve apply thread; run its equivalence/accounting
+  # suites explicitly so a filter rename can't silently drop them.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD" -R 'Pack|PlaceRun|ReallocAccounting' \
+      --no-tests=error --output-on-failure -j "$(nproc)"
+  echo "check.sh: OK (TSan tier1 + serve + repack)"
   exit 0
 fi
 
@@ -58,6 +64,10 @@ ctest --test-dir "$BUILD" -R 'Metrics' --no-tests=error \
   --output-on-failure -j "$(nproc)"
 ctest --test-dir "$BUILD" -R 'Serve' --no-tests=error \
   --output-on-failure -j "$(nproc)"
+# Repack-pipeline suites: the bucketed/place_run equivalence properties
+# and the planned-vs-applied accounting pins behind every realloc round.
+ctest --test-dir "$BUILD" -R 'Pack|PlaceRun|ReallocAccounting' \
+  --no-tests=error --output-on-failure -j "$(nproc)"
 
 SMOKE="$BUILD/BENCH_smoke.json"
 METRICS="$BUILD/metrics-smoke.json"

@@ -55,7 +55,24 @@ bool DReallocAllocator::debug_corrupt_state() {
 std::string DReallocAllocator::debug_check_state() const {
   if (greedy_) return {};
   const std::string err = copies_.check();
-  return err.empty() ? err : "copy_set: " + err;
+  if (!err.empty()) return "copy_set: " + err;
+  // The repack path packs straight into copies_ (no second placement
+  // replay in release), so the debug net audits what the replay used to
+  // assert: every tracked placement is really occupied in the copy set
+  // and the tracked sizes account for every occupied PE.
+  std::uint64_t tracked = 0;
+  for (const auto& [id, cp] : placements_) {
+    if (!copies_.occupied(cp)) {
+      return "placement for task " + std::to_string(id) +
+             " is not occupied in the copy set";
+    }
+    tracked += topo_.subtree_size(cp.node);
+  }
+  if (tracked != copies_.used()) {
+    return "tracked placement sizes " + std::to_string(tracked) +
+           " != copy set used " + std::to_string(copies_.used());
+  }
+  return {};
 }
 
 std::optional<std::vector<Migration>> DReallocAllocator::maybe_reallocate(
@@ -64,24 +81,19 @@ std::optional<std::vector<Migration>> DReallocAllocator::maybe_reallocate(
   if (!realloc_pending_) return std::nullopt;
   realloc_pending_ = false;
 
-  const auto tasks = state.active_tasks();
-  const auto packed = pack_tasks(topo_, tasks);
-  copies_.clear();
+  // Pack directly into our own copies_ -- the bucketed pass reproduces
+  // the A_R order exactly, so no separate plan + replay is needed; the
+  // engine's debug_checks net (debug_check_state above) audits the
+  // resulting placement map instead.
+  repack_into(state, copies_, scratch_);
   placements_.clear();
-  std::vector<Migration> migrations;
-  migrations.reserve(packed.size());
-  for (const PackedTask& p : packed) {
+  for (const PackedTask& p : scratch_.packed) {
     placements_.emplace(p.id, p.placement);
-    migrations.push_back(
-        {p.id, state.active_task(p.id).node, p.placement.node});
-  }
-  for (const PackedTask& p : packed) {
-    const tree::CopyPlacement cp = copies_.place(p.size);
-    PARTREE_ASSERT(cp == p.placement, "repack replay diverged");
   }
   arrived_since_realloc_ = 0;
   ++reallocations_;
-  return migrations;
+  return std::optional<std::vector<Migration>>(
+      std::in_place, scratch_.migrations.begin(), scratch_.migrations.end());
 }
 
 std::string DReallocAllocator::name() const {

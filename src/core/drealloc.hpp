@@ -11,6 +11,7 @@
 
 #include "core/allocator.hpp"
 #include "core/greedy.hpp"
+#include "core/packing.hpp"
 #include "tree/copy_set.hpp"
 
 namespace partree::core {
@@ -58,6 +59,7 @@ class DReallocAllocator : public Allocator {
   ReallocParam d_;
   std::optional<GreedyAllocator> greedy_;  // engaged in the greedy regime
   tree::CopySet copies_;
+  PackScratch scratch_;  // repack buffers, recycled across rounds
   std::unordered_map<TaskId, tree::CopyPlacement> placements_;
   std::uint64_t arrived_since_realloc_ = 0;
   bool realloc_pending_ = false;

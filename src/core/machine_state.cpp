@@ -37,7 +37,7 @@ tree::NodeId MachineState::remove(TaskId id) {
   return node;
 }
 
-void MachineState::migrate(const std::vector<Migration>& migrations) {
+void MachineState::migrate(std::span<const Migration> migrations) {
   std::uint64_t moved = 0;
   for (const Migration& m : migrations) {
     const auto it = active_.find(m.id);

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -51,8 +53,14 @@ class MachineState {
 
   /// Applies a reallocation: every migration must name an active task and
   /// a correctly-sized destination. Self-moves (from == to) are permitted
-  /// and counted by the caller, not here.
-  void migrate(const std::vector<Migration>& migrations);
+  /// and counted by the caller, not here. Takes a span so planners can
+  /// hand over any contiguous migration buffer without copying into a
+  /// vector first.
+  void migrate(std::span<const Migration> migrations);
+  void migrate(std::initializer_list<Migration> migrations) {
+    migrate(std::span<const Migration>(migrations.begin(),
+                                       migrations.size()));
+  }
 
   [[nodiscard]] bool is_active(TaskId id) const {
     return active_.find(id) != active_.end();
@@ -64,6 +72,14 @@ class MachineState {
 
   /// All active tasks (unordered).
   [[nodiscard]] std::vector<ActiveTask> active_tasks() const;
+
+  /// Visits every active task (unordered) without materializing a
+  /// vector -- the repack planner's bucketing pass runs on every
+  /// reallocation round, so the O(active) allocation matters there.
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const {
+    for (const auto& [id, at] : active_) fn(at);
+  }
 
   /// Current maximum PE load (the paper's L_A(sigma; tau)). O(1).
   [[nodiscard]] std::uint64_t max_load() const noexcept {

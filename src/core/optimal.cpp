@@ -32,27 +32,35 @@ void OptimalReallocAllocator::on_departure(TaskId id,
 
 std::optional<std::vector<Migration>> OptimalReallocAllocator::maybe_reallocate(
     const MachineState& state) {
-  const auto tasks = state.active_tasks();
-  const auto packed = pack_tasks(topo_, tasks);
-
-  // Rebuild internal bookkeeping to mirror the packing.
-  copies_.clear();
+  // Pack straight into our own CopySet; the scratch-backed bucket pass
+  // reproduces the A_R order exactly, so the old plan + replay-assert
+  // pair collapses to one placement sweep. debug_check_state audits the
+  // resulting placement map under the engine's debug_checks net.
+  repack_into(state, copies_, scratch_);
   placements_.clear();
-  std::vector<Migration> migrations;
-  migrations.reserve(packed.size());
-  for (const PackedTask& p : packed) {
+  for (const PackedTask& p : scratch_.packed) {
     placements_.emplace(p.id, p.placement);
-    migrations.push_back(
-        {p.id, state.active_task(p.id).node, p.placement.node});
   }
-  // Re-drive our CopySet so its occupancy matches `packed` exactly.
-  // pack_tasks used a fresh CopySet with the same deterministic policy, so
-  // replaying the same order reproduces the same placements.
-  for (const PackedTask& p : packed) {
-    const tree::CopyPlacement cp = copies_.place(p.size);
-    PARTREE_ASSERT(cp == p.placement, "repack replay diverged");
+  return std::optional<std::vector<Migration>>(
+      std::in_place, scratch_.migrations.begin(), scratch_.migrations.end());
+}
+
+std::string OptimalReallocAllocator::debug_check_state() const {
+  const std::string err = copies_.check();
+  if (!err.empty()) return "copy_set: " + err;
+  std::uint64_t tracked = 0;
+  for (const auto& [id, cp] : placements_) {
+    if (!copies_.occupied(cp)) {
+      return "placement for task " + std::to_string(id) +
+             " is not occupied in the copy set";
+    }
+    tracked += topo_.subtree_size(cp.node);
   }
-  return migrations;
+  if (tracked != copies_.used()) {
+    return "tracked placement sizes " + std::to_string(tracked) +
+           " != copy set used " + std::to_string(copies_.used());
+  }
+  return {};
 }
 
 void OptimalReallocAllocator::reset() {

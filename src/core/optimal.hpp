@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/allocator.hpp"
+#include "core/packing.hpp"
 #include "tree/copy_set.hpp"
 
 namespace partree::core {
@@ -23,10 +24,12 @@ class OptimalReallocAllocator : public Allocator {
       const MachineState& state) override;
   [[nodiscard]] std::string name() const override { return "optimal"; }
   void reset() override;
+  [[nodiscard]] std::string debug_check_state() const override;
 
  private:
   tree::Topology topo_;
   tree::CopySet copies_;
+  PackScratch scratch_;  // repack buffers, recycled across rounds
   std::unordered_map<TaskId, tree::CopyPlacement> placements_;
 };
 

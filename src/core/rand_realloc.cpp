@@ -28,7 +28,10 @@ RandomizedReallocAllocator::maybe_reallocate(const MachineState& state) {
   if (!realloc_pending_) return std::nullopt;
   realloc_pending_ = false;
   arrived_since_realloc_ = 0;
-  return plan_repack(state);
+  // Scratch-backed planning: the bucket pass walks the active set in
+  // place and the CopySet + buffers persist across rounds, so the only
+  // steady-state allocation is the returned delta list itself.
+  return plan_repack(state, scratch_);
 }
 
 std::string RandomizedReallocAllocator::name() const {

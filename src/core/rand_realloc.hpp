@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "core/allocator.hpp"
+#include "core/packing.hpp"
 #include "util/rng.hpp"
 
 namespace partree::core {
@@ -35,6 +36,7 @@ class RandomizedReallocAllocator : public Allocator {
   std::uint64_t d_;
   std::uint64_t seed_;
   util::Rng rng_;
+  PackScratch scratch_;  // repack buffers (incl. CopySet), recycled
   std::uint64_t arrived_since_realloc_ = 0;
   bool realloc_pending_ = false;
 };

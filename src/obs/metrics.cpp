@@ -146,6 +146,8 @@ constexpr MetricHelp kDurationHelp[kNumDurationMetrics] = {
     {"arrival_handle_ns", "One arrival fully handled by the engine, ns."},
     {"departure_handle_ns", "One departure fully handled by the engine, ns."},
     {"realloc_round_ns", "One applied reallocation round, ns."},
+    {"realloc_plan_ns",
+     "Planning half (maybe_reallocate) of one applied round, ns."},
     {"pool_dispatch_wait_ns",
      "Caller wait for the worker pool to go idle before dispatch, ns."},
     {"pool_region_ns", "One whole parallel region on the calling thread, ns."},
@@ -162,6 +164,10 @@ constexpr MetricHelp kDurationHelp[kNumDurationMetrics] = {
 constexpr MetricHelp kValueHelp[kNumValueMetrics] = {
     {"migration_batch_size",
      "Physical task moves per applied reallocation round."},
+    {"migrations_planned",
+     "Migrations emitted by the planner per applied reallocation round."},
+    {"migrations_applied",
+     "Physical task moves (from != to) per applied reallocation round."},
     {"pool_region_items", "Items per dispatched parallel region."},
     {"pool_chunk_items", "Items per chunk claimed off the ticket counter."},
     {"sweep_shard_cells", "Cells per executed sweep shard."},

@@ -53,6 +53,11 @@ enum class DurationMetric : std::size_t {
   kDepartureHandleNs,
   /// Engine: one APPLIED reallocation round (decision + migration).
   kReallocRoundNs,
+  /// Engine/serve: the allocator's planning half of one applied round
+  /// (maybe_reallocate only, before any migration is applied). Recorded
+  /// only when a plan was actually produced, so realloc_round_ns minus
+  /// this is the application half.
+  kReallocPlanNs,
   /// Pool: a caller's wait for the pool to go idle before its region
   /// dispatches (region-level queueing delay).
   kPoolDispatchWaitNs,
@@ -79,6 +84,15 @@ enum class DurationMetric : std::size_t {
 enum class ValueMetric : std::size_t {
   /// Engine: physical task moves (from != to) per applied reallocation.
   kMigrationBatchSize = 0,
+  /// Engine/serve: migrations the planner EMITTED per applied round.
+  /// With the delta planner this counts tasks whose node changed plus any
+  /// self-moves a custom planner chose to emit; the gap to
+  /// migrations_applied is planner overhead, not physical work.
+  kMigrationsPlanned,
+  /// Engine/serve: physical moves (from != to) per applied round --
+  /// migration_batch_size under a second, planner-facing name so the
+  /// planned/applied pair reads side by side in dashboards.
+  kMigrationsApplied,
   /// Pool: items per dispatched region.
   kPoolRegionItems,
   /// Pool: items per chunk a worker claimed off the ticket counter.

@@ -225,6 +225,7 @@ void PartitionService::apply_batch(std::deque<Request>& batch,
   stats_.departures += delta.departures;
   stats_.reallocation_count += delta.reallocation_count;
   stats_.migration_count += delta.migration_count;
+  stats_.migration_planned_count += delta.migration_planned_count;
   stats_.migrated_size += delta.migrated_size;
   stats_.max_load = std::max(stats_.max_load, delta.max_load);
   ++stats_.batches;
@@ -253,7 +254,13 @@ void PartitionService::apply_one(Request& req, std::uint64_t batch_index,
     state_.place(req.task, node);
     placement.size = req.task.size;
     placement.node = node;
+    const std::uint64_t plan_t0 =
+        obs::duration_metrics_enabled() ? obs::detail::monotonic_ns() : 0;
     if (auto migrations = allocator_->maybe_reallocate(state_)) {
+      if (plan_t0 != 0) {
+        obs::record_duration(obs::DurationMetric::kReallocPlanNs,
+                             obs::detail::monotonic_ns() - plan_t0);
+      }
       ++delta.reallocation_count;
       obs::emit_instant(obs::Instant::kReallocRound, migrations->size());
       std::uint64_t batch_moves = 0;
@@ -263,9 +270,20 @@ void PartitionService::apply_one(Request& req, std::uint64_t batch_index,
           delta.migrated_size += state_.active_task(m.id).task.size;
         }
       }
+      delta.migration_planned_count += migrations->size();
       delta.migration_count += batch_moves;
+      obs::record_value(obs::ValueMetric::kMigrationsPlanned,
+                        migrations->size());
+      obs::record_value(obs::ValueMetric::kMigrationsApplied, batch_moves);
       obs::record_value(obs::ValueMetric::kMigrationBatchSize, batch_moves);
       state_.migrate(*migrations);
+      if (plan_t0 != 0) {
+        // Same bracket as the engine: plan start through the last
+        // applied move, so plan and round histograms pair one-to-one
+        // whichever front end ran the round.
+        obs::record_duration(obs::DurationMetric::kReallocRoundNs,
+                             obs::detail::monotonic_ns() - plan_t0);
+      }
       // The task may have been moved by the reallocation it triggered;
       // report where it actually lives.
       placement.node = state_.active_task(req.task.id).node;

@@ -207,6 +207,12 @@ SimResult Engine::run_interactive(core::EventSource& source,
                                              ? obs::detail::monotonic_ns()
                                              : 0;
         if (auto migrations = allocator.maybe_reallocate(state)) {
+          // Planning half of the round: everything up to here is the
+          // allocator deciding where tasks go; what follows applies it.
+          if (realloc_t0 != 0) {
+            obs::record_duration(obs::DurationMetric::kReallocPlanNs,
+                                 obs::detail::monotonic_ns() - realloc_t0);
+          }
           ++result.reallocation_count;
           reallocated = true;
           obs::bump(obs::Counter::kReallocRounds);
@@ -219,7 +225,12 @@ SimResult Engine::run_interactive(core::EventSource& source,
               result.migrated_size += state.active_task(m.id).task.size;
             }
           }
+          result.migration_planned_count += migrations->size();
           result.migration_count += batch_moves;
+          obs::record_value(obs::ValueMetric::kMigrationsPlanned,
+                            migrations->size());
+          obs::record_value(obs::ValueMetric::kMigrationsApplied,
+                            batch_moves);
           obs::record_value(obs::ValueMetric::kMigrationBatchSize,
                             batch_moves);
           state.migrate(*migrations);

@@ -23,9 +23,9 @@ std::uint64_t CopySet::max_free_of(std::uint64_t k) const {
 }
 
 VacancyTree CopySet::take_vacant_tree() {
-  if (spare_) {
-    VacancyTree tree = std::move(*spare_);
-    spare_.reset();
+  if (!spares_.empty()) {
+    VacancyTree tree = std::move(spares_.back());
+    spares_.pop_back();
     return tree;
   }
   return VacancyTree(topo_);
@@ -104,6 +104,60 @@ CopyPlacement CopySet::place(std::uint64_t size) {
   return {best, node};
 }
 
+void CopySet::place_run(std::uint64_t size, std::uint64_t count,
+                        std::vector<CopyPlacement>& out) {
+  PARTREE_DEBUG_ASSERT(size > 0 && util::is_pow2(size),
+                       "placement size must be a power of two");
+  if (fit_ != CopyFit::kFirstFit) {
+    // Best fit has no monotone cursor (a placement can make an earlier
+    // copy the new tightest fit), so the batched form is just the loop.
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(place(size));
+    return;
+  }
+  const std::uint32_t level = util::exact_log2(size);
+  // Monotone first-fit cursor: nothing is removed during the run, so a
+  // word whose level-`level` stripe was zero stays zero -- the scan never
+  // needs to revisit words before `w`. The current word is re-read after
+  // every placement because the copy just placed into may still fit.
+  std::uint64_t w = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t n_words = (copies_.size() + 63) / 64;
+    std::uint64_t best = UINT64_MAX;
+    for (; w < n_words; ++w) {
+      const std::uint64_t word = fits_[w * n_levels_ + level];
+      if (word != 0) {
+        best = w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+        break;
+      }
+    }
+    if (best == UINT64_MAX) {
+      best = copies_.size();
+      copies_.push_back(take_vacant_tree());
+      copy_rank_.push_back(0);
+      if (best % 64 == 0) {
+        fits_.resize(fits_.size() + n_levels_, 0);
+      }
+      set_rank(best, 0, n_levels_);
+      copy_rank_.back() = n_levels_;
+      ++live_copies_;
+      w = best / 64;  // every earlier word stayed zero at this level
+    } else if (!copies_[best]) {
+      copies_[best] = take_vacant_tree();
+      ++live_copies_;
+    }
+    const NodeId node = copies_[best]->allocate(size);
+    used_ += size;
+    reindex(best);
+    out.push_back({best, node});
+  }
+}
+
+bool CopySet::occupied(const CopyPlacement& placement) const {
+  return placement.copy < copies_.size() &&
+         copies_[placement.copy].has_value() &&
+         copies_[placement.copy]->occupied(placement.node);
+}
+
 void CopySet::remove(const CopyPlacement& placement) {
   PARTREE_ASSERT(placement.copy < copies_.size(),
                  "remove from nonexistent copy");
@@ -116,8 +170,8 @@ void CopySet::remove(const CopyPlacement& placement) {
     // Reclaim the drained copy's storage in place; the slot keeps its
     // index (outstanding CopyPlacements stay valid) and keeps acting as a
     // fully vacant copy in the placement search. The drained tree itself
-    // becomes the spare for the next materialization.
-    spare_ = std::move(*copy);
+    // joins the spare pool for the next materialization.
+    spares_.push_back(std::move(*copy));
     copy.reset();
     --live_copies_;
   }
@@ -201,6 +255,16 @@ void CopySet::debug_corrupt_used(std::uint64_t used) {
 }
 
 void CopySet::clear() {
+  // Drain live trees into the spare pool instead of freeing them: the
+  // next repack re-creates roughly the same number of copies, and a
+  // drained tree is behaviourally identical to a freshly built one, so
+  // the O(N)-per-copy allocate + zero cost of a round disappears after
+  // the first one.
+  for (std::optional<VacancyTree>& copy : copies_) {
+    if (!copy) continue;
+    copy->clear();
+    spares_.push_back(std::move(*copy));
+  }
   copies_.clear();
   copy_rank_.clear();
   fits_.clear();

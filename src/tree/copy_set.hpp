@@ -64,6 +64,21 @@ class CopySet {
   /// leftmost block within it. Creates a new copy when none fits.
   [[nodiscard]] CopyPlacement place(std::uint64_t size);
 
+  /// Places `count` tasks of one (power-of-two) size, appending the
+  /// placements to `out` in placement order. Byte-identical results to
+  /// `count` repeated place(size) calls; under first-fit the search
+  /// cursor is carried across the run -- placements only shrink vacancy,
+  /// so the first fitting copy never moves backward -- which amortises
+  /// the per-level fits_ word scan over the whole size class instead of
+  /// restarting it at copy 0 for every task.
+  void place_run(std::uint64_t size, std::uint64_t count,
+                 std::vector<CopyPlacement>& out);
+
+  /// True iff `placement` names a live copy with a task rooted exactly at
+  /// its node -- i.e. a placement this set handed out and still holds.
+  /// Used by allocator debug checks to audit external placement maps.
+  [[nodiscard]] bool occupied(const CopyPlacement& placement) const;
+
   /// Releases a previous placement. A copy that drains to empty releases
   /// its occupancy storage in place (its index remains valid and it keeps
   /// behaving like a fully-vacant copy); trailing empty copies are
@@ -106,7 +121,7 @@ class CopySet {
   void reindex(std::uint64_t k);
   [[nodiscard]] std::uint64_t max_free_of(std::uint64_t k) const;
   void set_rank(std::uint64_t k, std::uint32_t from, std::uint32_t to);
-  /// The spare drained tree if one is cached, else a freshly built one.
+  /// A pooled drained tree if one is cached, else a freshly built one.
   [[nodiscard]] VacancyTree take_vacant_tree();
 
   Topology topo_;
@@ -114,12 +129,13 @@ class CopySet {
   /// nullopt = empty copy with reclaimed storage (equivalent to a fully
   /// vacant VacancyTree); materialized lazily on next placement into it.
   std::vector<std::optional<VacancyTree>> copies_;
-  /// Most recently drained tree, kept for the next materialization: a
-  /// drained VacancyTree is identical to a freshly built one, so reusing
-  /// it turns the drain/refill oscillation under churn into two moves
-  /// instead of an O(N) free + allocate pair. Caps retained empty-copy
-  /// storage at one copy.
-  std::optional<VacancyTree> spare_;
+  /// Drained trees kept for the next materialization: a drained
+  /// VacancyTree is identical to a freshly built one, so reusing one
+  /// turns the drain/refill oscillation under churn -- and clear() plus
+  /// rebuild during a repack round -- into moves instead of O(N)
+  /// free + allocate pairs. Retained storage is bounded by the largest
+  /// simultaneous copy count the set has ever held.
+  std::vector<VacancyTree> spares_;
   std::vector<std::uint32_t> copy_rank_;  // current fits_ rank per copy
   /// Cumulative per-level bitsets over copy ids, stored word-major in one
   /// flat array: word w of level j lives at fits_[w * n_levels_ + j], and

@@ -108,9 +108,54 @@ TEST(PackingTest, PlanRepackProducesValidMigrations) {
   std::uint64_t copies = 0;
   const auto migrations = plan_repack(state, &copies);
   EXPECT_EQ(copies, 1u);  // total size 8 fits one copy
-  ASSERT_EQ(migrations.size(), 3u);
+  // Delta planning: task 2 already sits at the canonical node for the
+  // largest task (node 2) and task 1 at the second size-2 slot (node 7);
+  // only task 0 moves (5 -> 6), so the list holds exactly that entry.
+  ASSERT_EQ(migrations.size(), 1u);
+  EXPECT_EQ(migrations[0], (Migration{0, 5, 6}));
   state.migrate(migrations);  // must not trip validation
   EXPECT_EQ(state.max_load(), 1u);
+}
+
+TEST(PackingTest, PlanRepackOfCanonicalLayoutIsEmpty) {
+  // A state already in its A_R layout plans a ZERO-length migration
+  // list: the delta planner must not emit self-moves. Build the layout
+  // by packing once and applying, then re-plan.
+  const tree::Topology topo(8);
+  MachineState state{topo};
+  state.place({0, 2}, 5);
+  state.place({1, 2}, 7);
+  state.place({2, 4}, 2);
+  state.migrate(plan_repack(state));
+  const auto again = plan_repack(state);
+  EXPECT_TRUE(again.empty());
+  state.migrate(again);  // applying the empty plan is a no-op
+  EXPECT_EQ(state.max_load(), 1u);
+}
+
+TEST(PackingTest, PlanRepackScratchReuseMatchesFreshScratch) {
+  // The scratch-backed overload must produce identical plans when its
+  // buffers (and CopySet) are reused across rounds with different
+  // active sets.
+  const tree::Topology topo(16);
+  util::Rng rng(29);
+  PackScratch scratch;
+  for (int round = 0; round < 50; ++round) {
+    MachineState state{topo};
+    const int count = 1 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t size = std::uint64_t{1} << rng.below(4);
+      const std::uint64_t slot = rng.below(topo.count_for_size(size));
+      const tree::NodeId node = topo.node_for(size, slot);
+      state.place({static_cast<TaskId>(i), size}, node);
+    }
+    std::uint64_t copies_fresh = 0;
+    std::uint64_t copies_reused = 0;
+    const auto fresh = plan_repack(state, &copies_fresh);
+    const auto reused = plan_repack(state, scratch, &copies_reused);
+    EXPECT_EQ(fresh, reused) << "round " << round;
+    EXPECT_EQ(copies_fresh, copies_reused) << "round " << round;
+  }
 }
 
 }  // namespace

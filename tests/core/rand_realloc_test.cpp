@@ -90,6 +90,52 @@ TEST(RandReallocTest, ReallocCountMatchesDmix) {
             engine.run(seq, *randmix).reallocation_count);
 }
 
+TEST(RandReallocTest, ChurnReallocationRoundsStayConsistent) {
+  // Churn mirror of the drealloc frequency test, driven through the
+  // shared PackScratch planning path: sustained arrivals + departures
+  // with reallocation rounds firing throughout, under the engine's
+  // debug_checks net so every round's state is audited. The delta
+  // planner must only ever emit physical moves, so the planned and
+  // applied totals coincide.
+  const tree::Topology topo(64);
+  util::Rng rng(23);
+  workload::ClosedLoopParams params;
+  params.n_events = 2000;
+  params.utilization = 0.9;
+  params.size = workload::SizeSpec::uniform_log(0, 5);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo, sim::EngineOptions{.debug_checks = true});
+  auto alloc = make_allocator("randmix:d=1", topo, 31);
+  const auto result = engine.run(seq, *alloc);
+  EXPECT_GT(result.reallocation_count, 10u);
+  EXPECT_EQ(result.migration_planned_count, result.migration_count);
+  EXPECT_GT(result.migration_count, 0u);
+}
+
+TEST(RandReallocTest, ScratchReuseIsDeterministicAcrossRounds) {
+  // The recycled scratch (buckets, CopySet, migration buffer) must not
+  // leak state between rounds: two engine runs over the same sequence
+  // with the same seed replay identical series AND identical migration
+  // accounting.
+  const tree::Topology topo(32);
+  util::Rng rng(29);
+  workload::ClosedLoopParams params;
+  params.n_events = 800;
+  params.utilization = 0.85;
+  params.size = workload::SizeSpec::uniform_log(0, 4);
+  const TaskSequence seq = workload::closed_loop(topo, params, rng);
+
+  sim::Engine engine(topo, sim::EngineOptions{.record_series = true});
+  auto alloc = make_allocator("randmix:d=1", topo, 37);
+  const auto r1 = engine.run(seq, *alloc);
+  const auto r2 = engine.run(seq, *alloc);
+  EXPECT_EQ(r1.load_series, r2.load_series);
+  EXPECT_EQ(r1.migration_count, r2.migration_count);
+  EXPECT_EQ(r1.migration_planned_count, r2.migration_planned_count);
+  EXPECT_EQ(r1.migrated_size, r2.migrated_size);
+}
+
 TEST(RandReallocTest, ResetReplays) {
   const tree::Topology topo(16);
   sim::Engine engine(topo, sim::EngineOptions{.record_series = true});

@@ -260,6 +260,106 @@ TEST_F(MetricsTest, GoldenPrometheusExposition) {
   EXPECT_NE(text.find(empty_family), std::string::npos) << text;
 }
 
+// The planned/applied migration pair is a public contract for dashboards
+// (planner overhead vs physical work), so both families get the same
+// byte-level pins as migration_batch_size.
+TEST_F(MetricsTest, GoldenJsonPlannedVsApplied) {
+  // One round that plans 6 and applies 4, one zero-move round.
+  record_value(ValueMetric::kMigrationsPlanned, 6);
+  record_value(ValueMetric::kMigrationsApplied, 4);
+  record_value(ValueMetric::kMigrationsPlanned, 0);
+  record_value(ValueMetric::kMigrationsApplied, 0);
+  const util::json::Value doc = metrics_to_json(snapshot_metrics());
+
+  const std::string planned =
+      "{\n"
+      "  \"buckets\": [\n"
+      "    [\n"
+      "      0,\n"
+      "      1\n"
+      "    ],\n"
+      "    [\n"
+      "      3,\n"
+      "      1\n"
+      "    ]\n"
+      "  ],\n"
+      "  \"count\": 2,\n"
+      "  \"max\": 6,\n"
+      "  \"mean\": 3,\n"
+      "  \"min\": 0,\n"
+      "  \"p50\": 0,\n"
+      "  \"p90\": 6,\n"
+      "  \"p99\": 6,\n"
+      "  \"sum\": 6\n"
+      "}";
+  EXPECT_EQ(doc.at("values").at("migrations_planned").dump(), planned);
+
+  const std::string applied =
+      "{\n"
+      "  \"buckets\": [\n"
+      "    [\n"
+      "      0,\n"
+      "      1\n"
+      "    ],\n"
+      "    [\n"
+      "      3,\n"
+      "      1\n"
+      "    ]\n"
+      "  ],\n"
+      "  \"count\": 2,\n"
+      "  \"max\": 4,\n"
+      "  \"mean\": 2,\n"
+      "  \"min\": 0,\n"
+      "  \"p50\": 0,\n"
+      "  \"p90\": 4,\n"
+      "  \"p99\": 4,\n"
+      "  \"sum\": 4\n"
+      "}";
+  EXPECT_EQ(doc.at("values").at("migrations_applied").dump(), applied);
+
+  const util::json::Value reparsed = util::json::parse(doc.dump());
+  EXPECT_EQ(validate_metrics_json(reparsed), "");
+}
+
+TEST_F(MetricsTest, GoldenPrometheusPlannedVsApplied) {
+  record_value(ValueMetric::kMigrationsPlanned, 6);
+  record_value(ValueMetric::kMigrationsApplied, 4);
+  const std::string text = metrics_to_prometheus(snapshot_metrics());
+
+  const std::string planned_family =
+      "# HELP partree_migrations_planned Migrations emitted by the planner "
+      "per applied reallocation round.\n"
+      "# TYPE partree_migrations_planned histogram\n"
+      "partree_migrations_planned_bucket{le=\"0\"} 0\n"
+      "partree_migrations_planned_bucket{le=\"1\"} 0\n"
+      "partree_migrations_planned_bucket{le=\"3\"} 0\n"
+      "partree_migrations_planned_bucket{le=\"7\"} 1\n"
+      "partree_migrations_planned_bucket{le=\"+Inf\"} 1\n"
+      "partree_migrations_planned_sum 6\n"
+      "partree_migrations_planned_count 1\n";
+  EXPECT_NE(text.find(planned_family), std::string::npos) << text;
+
+  const std::string applied_family =
+      "# HELP partree_migrations_applied Physical task moves (from != to) "
+      "per applied reallocation round.\n"
+      "# TYPE partree_migrations_applied histogram\n"
+      "partree_migrations_applied_bucket{le=\"0\"} 0\n"
+      "partree_migrations_applied_bucket{le=\"1\"} 0\n"
+      "partree_migrations_applied_bucket{le=\"3\"} 0\n"
+      "partree_migrations_applied_bucket{le=\"7\"} 1\n"
+      "partree_migrations_applied_bucket{le=\"+Inf\"} 1\n"
+      "partree_migrations_applied_sum 4\n"
+      "partree_migrations_applied_count 1\n";
+  EXPECT_NE(text.find(applied_family), std::string::npos) << text;
+
+  // realloc_plan_ns rides the same document even when empty.
+  const std::string plan_family =
+      "partree_realloc_plan_ns_bucket{le=\"+Inf\"} 0\n"
+      "partree_realloc_plan_ns_sum 0\n"
+      "partree_realloc_plan_ns_count 0\n";
+  EXPECT_NE(text.find(plan_family), std::string::npos) << text;
+}
+
 TEST_F(MetricsTest, ValidateCatchesTampering) {
   record_value(ValueMetric::kPoolRegionItems, 42);
   util::json::Value doc = metrics_to_json(snapshot_metrics());
